@@ -1,0 +1,30 @@
+//! Full-ranking evaluation benchmark (the per-eval cost every experiment
+//! pays).
+
+use bsl_data::synth::{generate, SynthConfig};
+use bsl_eval::{evaluate, ScoreKind};
+use bsl_linalg::Matrix;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_eval(c: &mut Criterion) {
+    let ds = generate(&SynthConfig::yelp_like(1));
+    let mut rng = StdRng::seed_from_u64(0);
+    let u = Matrix::gaussian(ds.n_users, 64, 0.1, &mut rng);
+    let i = Matrix::gaussian(ds.n_items, 64, 0.1, &mut rng);
+
+    c.bench_function("evaluate_yelp_d64_k20_dot", |b| {
+        b.iter(|| evaluate(black_box(&ds), &u, &i, ScoreKind::Dot, &[20]))
+    });
+    c.bench_function("evaluate_yelp_d64_multik_cosine", |b| {
+        b.iter(|| evaluate(black_box(&ds), &u, &i, ScoreKind::Cosine, &[5, 10, 15, 20]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_eval
+}
+criterion_main!(benches);

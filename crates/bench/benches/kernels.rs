@@ -1,0 +1,41 @@
+//! Vector-kernel microbenchmarks (the inner loops of scoring/backprop).
+
+use bsl_linalg::kernels::{cosine_backward_into, dot, normalize_into};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_kernels(c: &mut Criterion) {
+    let d = 64usize;
+    let a: Vec<f32> = (0..d).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b: Vec<f32> = (0..d).map(|i| (i as f32 * 0.53).cos()).collect();
+    let mut out = vec![0.0f32; d];
+
+    c.bench_function("dot_d64", |bench| bench.iter(|| dot(black_box(&a), black_box(&b))));
+    c.bench_function("normalize_d64", |bench| {
+        bench.iter(|| normalize_into(black_box(&a), black_box(&mut out)))
+    });
+    c.bench_function("cosine_backward_d64", |bench| {
+        let mut ahat = vec![0.0f32; d];
+        let mut bhat = vec![0.0f32; d];
+        let an = normalize_into(&a, &mut ahat);
+        normalize_into(&b, &mut bhat);
+        let s = dot(&ahat, &bhat);
+        let mut grad = vec![0.0f32; d];
+        bench.iter(|| {
+            cosine_backward_into(
+                black_box(0.1),
+                black_box(s),
+                black_box(&ahat),
+                black_box(&bhat),
+                black_box(an),
+                black_box(&mut grad),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Loss forward+gradient benchmarks — one per loss in the zoo, on a
+//! Table-II-shaped batch (B=512, m=64).
+
+use bsl_losses::{build, LossConfig, ScoreBatch};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_losses(c: &mut Criterion) {
+    let b = 512usize;
+    let m = 64usize;
+    let pos: Vec<f32> = (0..b).map(|i| ((i as f32 * 0.11).sin()) * 0.8).collect();
+    let neg: Vec<f32> = (0..b * m).map(|i| ((i as f32 * 0.07).cos()) * 0.8).collect();
+
+    for (name, cfg) in [
+        ("bpr", LossConfig::Bpr),
+        ("bce", LossConfig::Bce { neg_weight: 1.0 }),
+        ("mse", LossConfig::Mse { neg_weight: 1.0 }),
+        ("sl", LossConfig::Sl { tau: 0.1 }),
+        ("bsl", LossConfig::Bsl { tau1: 0.15, tau2: 0.1 }),
+        ("ccl", LossConfig::Ccl { margin: 0.4, neg_weight: 1.5 }),
+        ("taylor_sl", LossConfig::TaylorSl { tau: 0.1, with_variance: true }),
+    ] {
+        let loss = build(cfg);
+        c.bench_function(&format!("loss_{name}_b512_m64"), |bench| {
+            bench.iter(|| loss.compute(black_box(&ScoreBatch::new(&pos, &neg, m))))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_losses
+}
+criterion_main!(benches);

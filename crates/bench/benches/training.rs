@@ -1,0 +1,44 @@
+//! End-to-end training-epoch benchmarks: MF+SL, MF+BSL and LightGCN+SL —
+//! the wall-clock units every table/figure run is built from.
+
+use bsl_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn epoch_cfg(backbone: BackboneConfig, loss: LossConfig) -> TrainConfig {
+    TrainConfig {
+        backbone,
+        loss,
+        epochs: 1,
+        eval_every: 1,
+        dim: 32,
+        negatives: 32,
+        batch_size: 512,
+        patience: 0,
+        ..TrainConfig::smoke()
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = Arc::new(generate(&SynthConfig::tiny(1)));
+
+    c.bench_function("epoch_mf_sl", |b| {
+        let cfg = epoch_cfg(BackboneConfig::Mf, LossConfig::Sl { tau: 0.15 });
+        b.iter(|| Trainer::new(cfg).fit(&ds))
+    });
+    c.bench_function("epoch_mf_bsl", |b| {
+        let cfg = epoch_cfg(BackboneConfig::Mf, LossConfig::Bsl { tau1: 0.3, tau2: 0.15 });
+        b.iter(|| Trainer::new(cfg).fit(&ds))
+    });
+    c.bench_function("epoch_lightgcn_sl", |b| {
+        let cfg = epoch_cfg(BackboneConfig::LightGcn { layers: 2 }, LossConfig::Sl { tau: 0.15 });
+        b.iter(|| Trainer::new(cfg).fit(&ds))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! The reproduction driver: `repro <experiment> [--scale quick|full]`.
+//!
+//! One subcommand per table/figure of the paper's evaluation section (see
+//! DESIGN.md §6 for the experiment index). `all` runs everything in order.
+
+use bsl_bench::experiments::*;
+use bsl_bench::Scale;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12",
+    "fig13", "table2", "table3", "table4", "table5",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment|all> [--scale quick|full]");
+    eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+    eprintln!("(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)");
+    std::process::exit(2);
+}
+
+fn dispatch(name: &str, scale: Scale) {
+    let start = std::time::Instant::now();
+    match name {
+        "table1" => table1::run(scale),
+        "fig1" => fig1::run_exp(scale),
+        "fig3" => fig3::run_exp(scale),
+        "fig4" => fig4::run_exp(scale),
+        "fig5" => fig5::run_exp(scale),
+        "fig6" => fig6::run_exp(scale),
+        "fig7" => fig7::run_exp(scale),
+        "fig8" => fig8::run_exp(scale),
+        "fig9" => fig9::run_exp(scale),
+        "fig10" | "fig11" => fig10::run_exp(scale),
+        "fig12" => fig12::run_exp(scale),
+        "fig13" => fig13::run_exp(scale),
+        "table2" => table2::run_exp(scale),
+        "table3" => table3::run_exp(scale),
+        "table4" => table4::run_exp(scale),
+        "table5" => table5::run_exp(scale),
+        _ => usage(),
+    }
+    eprintln!("[{name} done in {:.1}s]", start.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale::Quick;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    for name in names {
+        if name == "all" {
+            for &e in EXPERIMENTS {
+                dispatch(e, scale);
+            }
+        } else {
+            dispatch(&name, scale);
+        }
+    }
+}

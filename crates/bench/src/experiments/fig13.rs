@@ -1,0 +1,40 @@
+//! Figure 13 — sensitivity to the temperature ratio τ1/τ2 for BSL on MF
+//! and LightGCN. The paper reports an interior optimum: very large τ1/τ2
+//! (tiny positive-side robustness radius) underperforms, and so does a
+//! very small ratio (implausible worst case).
+
+use super::common::{base_cfg, header, lgn, row, run, suite, Scale};
+use bsl_core::TrainConfig;
+use bsl_losses::LossConfig;
+use bsl_models::BackboneConfig;
+
+/// The paper's ratio grid.
+pub const RATIOS: [f32; 6] = [0.5, 0.8, 1.0, 1.2, 1.4, 2.0];
+
+/// Prints the Fig-13 ratio sweep.
+pub fn run_exp(scale: Scale) {
+    println!("\n## Figure 13 — NDCG@20 vs τ1/τ2 (BSL)\n");
+    let tau2 = 0.15f32;
+    for ds in suite(scale) {
+        println!("\n### {}\n", ds.name);
+        let mut head = vec!["Backbone".to_string()];
+        head.extend(RATIOS.iter().map(|r| format!("τ1/τ2={r}")));
+        header(&head.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for (label, backbone) in [("MF", BackboneConfig::Mf), ("LightGCN", lgn())] {
+            let mut cells = vec![label.to_string()];
+            for &ratio in &RATIOS {
+                let out = run(
+                    &ds,
+                    TrainConfig {
+                        backbone,
+                        loss: LossConfig::Bsl { tau1: tau2 * ratio, tau2 },
+                        ..base_cfg(scale)
+                    },
+                );
+                cells.push(format!("{:.4}", out.best.ndcg(20)));
+            }
+            row(&cells);
+        }
+    }
+    println!("\nShape check: interior optimum in the ratio (neither extreme wins).");
+}

@@ -1,0 +1,20 @@
+//! One module per paper table/figure.
+
+pub mod common;
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,555 @@
+//! The training loop: backbone × loss × sampler × optimizer × evaluation.
+
+use crate::config::{SamplingConfig, TrainConfig};
+use bsl_data::Dataset;
+use bsl_eval::{evaluate, EvalReport, ScoreKind};
+use bsl_linalg::kernels::{axpy, cosine_backward_into, dot, normalize_into, sq_dist};
+use bsl_linalg::Matrix;
+use bsl_losses::{build as build_loss, RankingLoss, ScoreBatch};
+use bsl_models::cml::euclidean_rank_embeddings;
+use bsl_models::{build as build_backbone, Backbone, EvalScore, GradBuffer, Hyper, TrainScore};
+use bsl_sampling::{BatchIter, NegativeSampler, NoisySampler, PopularitySampler, TrainBatch, UniformSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The cutoffs every training run evaluates (Fig 7's @5/@10/@15 plus the
+/// paper's headline @20).
+pub const EVAL_KS: [usize; 4] = [5, 10, 15, 20];
+
+/// Loss statistics of one epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean main-loss value over batches.
+    pub loss: f64,
+    /// Mean auxiliary (self-supervised) loss over batches.
+    pub aux_loss: f64,
+}
+
+/// Result of a training run.
+pub struct TrainOutcome {
+    /// Final user embeddings at the best evaluation.
+    pub user_emb: Matrix,
+    /// Final item embeddings at the best evaluation.
+    pub item_emb: Matrix,
+    /// The backbone's test-time score function.
+    pub eval_score: EvalScore,
+    /// The best evaluation report (by NDCG@20).
+    pub best: EvalReport,
+    /// Epoch (0-based) of the best evaluation.
+    pub best_epoch: usize,
+    /// Per-epoch loss statistics.
+    pub history: Vec<EpochStats>,
+    /// `(epoch, NDCG@20)` at each evaluation point.
+    pub eval_history: Vec<(usize, f64)>,
+}
+
+impl TrainOutcome {
+    /// Re-evaluates the stored (best) embeddings on `ds` at the cutoffs
+    /// `ks` — used by experiments that need metrics on a different split
+    /// or at different cutoffs than the training loop recorded.
+    pub fn evaluate_on(&self, ds: &Dataset, ks: &[usize]) -> EvalReport {
+        evaluate_embeddings(ds, &self.user_emb, &self.item_emb, self.eval_score, ks)
+    }
+}
+
+/// Evaluates final embeddings under a backbone's [`EvalScore`] convention
+/// (distance scoring is reduced to dot-product scoring by the CML
+/// embedding augmentation).
+pub fn evaluate_embeddings(
+    ds: &Dataset,
+    user_emb: &Matrix,
+    item_emb: &Matrix,
+    score: EvalScore,
+    ks: &[usize],
+) -> EvalReport {
+    match score {
+        EvalScore::Dot => evaluate(ds, user_emb, item_emb, ScoreKind::Dot, ks),
+        EvalScore::Cosine => evaluate(ds, user_emb, item_emb, ScoreKind::Cosine, ks),
+        EvalScore::NegSqDist => {
+            let (au, ai) = euclidean_rank_embeddings(user_emb, item_emb);
+            evaluate(ds, &au, &ai, ScoreKind::Dot, ks)
+        }
+    }
+}
+
+/// Trains a backbone with a ranking loss on a dataset.
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+/// Reusable per-row score scratch (unit vectors and norms).
+struct ScoreScratch {
+    /// Unit user vectors, `B × d`.
+    user_hat: Matrix,
+    user_norm: Vec<f32>,
+    /// Unit positive-item vectors, `B × d`.
+    pos_hat: Matrix,
+    pos_norm: Vec<f32>,
+    pos_scores: Vec<f32>,
+    neg_scores: Vec<f32>,
+}
+
+impl Trainer {
+    /// Creates a trainer for `cfg`.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this trainer runs.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Builds the configured backbone and trains it on `ds`.
+    pub fn fit(&self, ds: &Arc<Dataset>) -> TrainOutcome {
+        let mut backbone = build_backbone(self.cfg.backbone, ds, self.cfg.dim, self.cfg.seed);
+        self.fit_backbone(ds, backbone.as_mut())
+    }
+
+    /// Trains a caller-provided backbone (for custom models or warm
+    /// starts).
+    pub fn fit_backbone(&self, ds: &Arc<Dataset>, backbone: &mut dyn Backbone) -> TrainOutcome {
+        let cfg = &self.cfg;
+        assert!(cfg.epochs > 0, "epochs must be positive");
+        assert!(cfg.eval_every > 0, "eval_every must be positive");
+        let loss = build_loss(cfg.loss);
+        let sampler: Box<dyn NegativeSampler> = match cfg.sampling {
+            SamplingConfig::Uniform | SamplingConfig::InBatch => {
+                Box::new(UniformSampler::new(ds.clone()))
+            }
+            SamplingConfig::Popularity { alpha } => {
+                Box::new(PopularitySampler::new(ds.clone(), alpha))
+            }
+            SamplingConfig::Noisy { r_noise } => Box::new(NoisySampler::new(ds.clone(), r_noise)),
+        };
+        let in_batch = cfg.sampling == SamplingConfig::InBatch;
+        // In-batch rows carry B−1 negatives each; the sampler's draws are
+        // discarded, so sample the minimum.
+        let m = if in_batch { 1 } else { cfg.negatives };
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xB5F0_0B5F);
+        let mut grads = GradBuffer::new(ds.n_users, ds.n_items, backbone.out_dim());
+        let hyper = Hyper { lr: cfg.lr, l2: cfg.l2 };
+
+        let mut history = Vec::new();
+        let mut eval_history = Vec::new();
+        let mut best_ndcg = f64::NEG_INFINITY;
+        let mut best: Option<(EvalReport, Matrix, Matrix, usize)> = None;
+        let mut stale = 0usize;
+
+        'training: for epoch in 0..cfg.epochs {
+            let mut loss_sum = 0.0f64;
+            let mut aux_sum = 0.0f64;
+            let mut n_batches = 0usize;
+            let epoch_seed = cfg.seed.wrapping_add(1 + epoch as u64);
+            for batch in BatchIter::new(ds, sampler.as_ref(), cfg.batch_size, m, epoch_seed) {
+                if in_batch && batch.len() < 2 {
+                    continue; // a single row has no in-batch negatives
+                }
+                backbone.forward(&mut rng);
+                let (l, aux) = if in_batch {
+                    self.step_in_batch(backbone, loss.as_ref(), &batch, &mut grads, hyper, &mut rng)
+                } else {
+                    self.step_sampled(backbone, loss.as_ref(), &batch, &mut grads, hyper, &mut rng)
+                };
+                loss_sum += l;
+                aux_sum += aux;
+                n_batches += 1;
+            }
+            let denom = n_batches.max(1) as f64;
+            history.push(EpochStats {
+                epoch,
+                loss: loss_sum / denom,
+                aux_loss: aux_sum / denom,
+            });
+
+            if (epoch + 1) % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
+                backbone.forward(&mut rng);
+                let report = evaluate_embeddings(
+                    ds,
+                    backbone.user_factors(),
+                    backbone.item_factors(),
+                    backbone.eval_score(),
+                    &EVAL_KS,
+                );
+                let ndcg = report.ndcg(20);
+                eval_history.push((epoch, ndcg));
+                if ndcg > best_ndcg {
+                    best_ndcg = ndcg;
+                    best = Some((
+                        report,
+                        backbone.user_factors().clone(),
+                        backbone.item_factors().clone(),
+                        epoch,
+                    ));
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if cfg.patience > 0 && stale >= cfg.patience {
+                        break 'training;
+                    }
+                }
+            }
+        }
+
+        let (best, user_emb, item_emb, best_epoch) =
+            best.expect("at least one evaluation ran (final epoch always evaluates)");
+        TrainOutcome {
+            user_emb,
+            item_emb,
+            eval_score: backbone.eval_score(),
+            best,
+            best_epoch,
+            history,
+            eval_history,
+        }
+    }
+
+    /// One optimizer step with explicitly-sampled negatives.
+    fn step_sampled(
+        &self,
+        backbone: &mut dyn Backbone,
+        loss: &dyn RankingLoss,
+        batch: &TrainBatch,
+        grads: &mut GradBuffer,
+        hyper: Hyper,
+        rng: &mut StdRng,
+    ) -> (f64, f64) {
+        let b = batch.len();
+        let m = batch.m;
+        let d = backbone.out_dim();
+        let score_kind = backbone.train_score();
+        let users = backbone.user_factors();
+        let items = backbone.item_factors();
+
+        // Pass 1 — scores (cache user/pos unit vectors; negatives are
+        // re-normalized in pass 2 to keep memory O(B·d), not O(B·m·d)).
+        let mut scratch = ScoreScratch {
+            user_hat: Matrix::zeros(b, d),
+            user_norm: vec![0.0; b],
+            pos_hat: Matrix::zeros(b, d),
+            pos_norm: vec![0.0; b],
+            pos_scores: vec![0.0; b],
+            neg_scores: vec![0.0; b * m],
+        };
+        let mut jhat = vec![0.0f32; d];
+        for row in 0..b {
+            let u = batch.users[row] as usize;
+            let i = batch.pos[row] as usize;
+            match score_kind {
+                TrainScore::Cosine => {
+                    scratch.user_norm[row] =
+                        normalize_into(users.row(u), scratch.user_hat.row_mut(row));
+                    scratch.pos_norm[row] =
+                        normalize_into(items.row(i), scratch.pos_hat.row_mut(row));
+                    scratch.pos_scores[row] =
+                        dot(scratch.user_hat.row(row), scratch.pos_hat.row(row));
+                    for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                        normalize_into(items.row(j as usize), &mut jhat);
+                        scratch.neg_scores[row * m + jj] = dot(scratch.user_hat.row(row), &jhat);
+                    }
+                }
+                TrainScore::NegSqDist => {
+                    scratch.pos_scores[row] = -sq_dist(users.row(u), items.row(i));
+                    for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                        scratch.neg_scores[row * m + jj] =
+                            -sq_dist(users.row(u), items.row(j as usize));
+                    }
+                }
+            }
+        }
+
+        let out = loss.compute(&ScoreBatch::new(&scratch.pos_scores, &scratch.neg_scores, m));
+
+        // Pass 2 — chain score gradients into embedding gradients.
+        for row in 0..b {
+            let u = batch.users[row];
+            let i = batch.pos[row];
+            match score_kind {
+                TrainScore::Cosine => {
+                    let uhat = scratch.user_hat.row(row).to_vec();
+                    let ihat = scratch.pos_hat.row(row).to_vec();
+                    let g = out.grad_pos[row];
+                    let s = scratch.pos_scores[row];
+                    cosine_backward_into(g, s, &uhat, &ihat, scratch.user_norm[row], grads.user_row_mut(u));
+                    cosine_backward_into(g, s, &ihat, &uhat, scratch.pos_norm[row], grads.item_row_mut(i));
+                    for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                        let g = out.grad_neg[row * m + jj];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let s = scratch.neg_scores[row * m + jj];
+                        let jn = normalize_into(backbone.item_factors().row(j as usize), &mut jhat);
+                        cosine_backward_into(g, s, &uhat, &jhat, scratch.user_norm[row], grads.user_row_mut(u));
+                        cosine_backward_into(g, s, &jhat, &uhat, jn, grads.item_row_mut(j));
+                    }
+                }
+                TrainScore::NegSqDist => {
+                    // s = −||u−i||² ⇒ ∂s/∂u = 2(i−u), ∂s/∂i = 2(u−i).
+                    let urow = backbone.user_factors().row(u as usize).to_vec();
+                    let apply = |g: f32, item: u32, grads: &mut GradBuffer, backbone: &dyn Backbone, urow: &[f32]| {
+                        if g == 0.0 {
+                            return;
+                        }
+                        let irow = backbone.item_factors().row(item as usize).to_vec();
+                        {
+                            let gu = grads.user_row_mut(batch.users[row]);
+                            axpy(2.0 * g, &irow, gu);
+                            axpy(-2.0 * g, urow, gu);
+                        }
+                        {
+                            let gi = grads.item_row_mut(item);
+                            axpy(2.0 * g, urow, gi);
+                            axpy(-2.0 * g, &irow, gi);
+                        }
+                    };
+                    apply(out.grad_pos[row], i, grads, backbone, &urow);
+                    for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                        apply(out.grad_neg[row * m + jj], j, grads, backbone, &urow);
+                    }
+                }
+            }
+        }
+
+        let aux = backbone.step(grads, &batch.users, &batch.pos, hyper, rng);
+        grads.clear();
+        (out.loss, aux)
+    }
+
+    /// One optimizer step with in-batch shared negatives: row `b`'s
+    /// negatives are the other rows' positive items (paper Table V).
+    fn step_in_batch(
+        &self,
+        backbone: &mut dyn Backbone,
+        loss: &dyn RankingLoss,
+        batch: &TrainBatch,
+        grads: &mut GradBuffer,
+        hyper: Hyper,
+        rng: &mut StdRng,
+    ) -> (f64, f64) {
+        let b = batch.len();
+        let m = b - 1;
+        let d = backbone.out_dim();
+        debug_assert_eq!(backbone.train_score(), TrainScore::Cosine, "in-batch assumes cosine");
+        let users = backbone.user_factors();
+        let items = backbone.item_factors();
+
+        // Normalize each row's user and positive item once.
+        let mut user_hat = Matrix::zeros(b, d);
+        let mut item_hat = Matrix::zeros(b, d);
+        let mut user_norm = vec![0.0f32; b];
+        let mut item_norm = vec![0.0f32; b];
+        for row in 0..b {
+            user_norm[row] =
+                normalize_into(users.row(batch.users[row] as usize), user_hat.row_mut(row));
+            item_norm[row] =
+                normalize_into(items.row(batch.pos[row] as usize), item_hat.row_mut(row));
+        }
+        // Full similarity matrix: S[a][c] = cos(user_a, item_c).
+        let mut sims = Matrix::zeros(b, b);
+        for a in 0..b {
+            let ua = user_hat.row(a).to_vec();
+            let dst = sims.row_mut(a);
+            for (c, slot) in dst.iter_mut().enumerate() {
+                *slot = dot(&ua, item_hat.row(c));
+            }
+        }
+        let mut pos_scores = vec![0.0f32; b];
+        let mut neg_scores = vec![0.0f32; b * m];
+        for a in 0..b {
+            pos_scores[a] = sims.get(a, a);
+            let mut jj = 0;
+            for c in 0..b {
+                if c != a {
+                    neg_scores[a * m + jj] = sims.get(a, c);
+                    jj += 1;
+                }
+            }
+        }
+        let out = loss.compute(&ScoreBatch::new(&pos_scores, &neg_scores, m));
+
+        // Chain gradients back; the column item of slot (a, jj) is row c.
+        for a in 0..b {
+            let ua = user_hat.row(a).to_vec();
+            let g = out.grad_pos[a];
+            let s = pos_scores[a];
+            let ia = item_hat.row(a).to_vec();
+            cosine_backward_into(g, s, &ua, &ia, user_norm[a], grads.user_row_mut(batch.users[a]));
+            cosine_backward_into(g, s, &ia, &ua, item_norm[a], grads.item_row_mut(batch.pos[a]));
+            let mut jj = 0;
+            for c in 0..b {
+                if c == a {
+                    continue;
+                }
+                let g = out.grad_neg[a * m + jj];
+                let s = neg_scores[a * m + jj];
+                jj += 1;
+                if g == 0.0 {
+                    continue;
+                }
+                let ic = item_hat.row(c).to_vec();
+                cosine_backward_into(g, s, &ua, &ic, user_norm[a], grads.user_row_mut(batch.users[a]));
+                cosine_backward_into(g, s, &ic, &ua, item_norm[c], grads.item_row_mut(batch.pos[c]));
+            }
+        }
+
+        let aux = backbone.step(grads, &batch.users, &batch.pos, hyper, rng);
+        grads.clear();
+        (out.loss, aux)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsl_data::synth::{generate, SynthConfig};
+    use bsl_losses::LossConfig;
+    use bsl_models::BackboneConfig;
+
+    fn tiny() -> Arc<Dataset> {
+        Arc::new(generate(&SynthConfig::tiny(1)))
+    }
+
+    fn random_baseline(ds: &Arc<Dataset>) -> f64 {
+        // NDCG of untrained Xavier embeddings.
+        let mut rng = StdRng::seed_from_u64(999);
+        let u = Matrix::xavier_uniform(ds.n_users, 16, &mut rng);
+        let i = Matrix::xavier_uniform(ds.n_items, 16, &mut rng);
+        evaluate(ds, &u, &i, ScoreKind::Cosine, &[20]).ndcg(20)
+    }
+
+    #[test]
+    fn mf_sl_learns_signal() {
+        let ds = tiny();
+        let cfg = TrainConfig { epochs: 12, ..TrainConfig::smoke() };
+        let out = Trainer::new(cfg).fit(&ds);
+        let chance = random_baseline(&ds);
+        assert!(
+            out.best.ndcg(20) > chance * 2.0,
+            "trained NDCG {:.4} vs random {:.4}",
+            out.best.ndcg(20),
+            chance
+        );
+        assert_eq!(out.history.len() as i64, 12);
+    }
+
+    #[test]
+    fn mf_bsl_learns_signal() {
+        let ds = tiny();
+        // τ1 well above τ2: at this tiny scale the margins z_b spread over
+        // several units, so a too-small τ1 concentrates the row weights and
+        // slows early epochs (the same effect Fig 13 shows for tiny τ1/τ2).
+        let cfg = TrainConfig {
+            loss: LossConfig::Bsl { tau1: 0.5, tau2: 0.15 },
+            epochs: 12,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20) > random_baseline(&ds) * 2.0);
+    }
+
+    #[test]
+    fn lightgcn_bpr_learns_signal() {
+        let ds = tiny();
+        let cfg = TrainConfig {
+            backbone: BackboneConfig::LightGcn { layers: 2 },
+            loss: LossConfig::Bpr,
+            epochs: 10,
+            negatives: 4,
+            lr: 0.05,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20) > random_baseline(&ds) * 1.5);
+    }
+
+    #[test]
+    fn in_batch_sampling_learns_signal() {
+        let ds = tiny();
+        let cfg = TrainConfig {
+            sampling: SamplingConfig::InBatch,
+            batch_size: 64,
+            epochs: 10,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20) > random_baseline(&ds) * 1.5);
+    }
+
+    #[test]
+    fn cml_path_trains_and_evaluates() {
+        let ds = tiny();
+        let cfg = TrainConfig {
+            backbone: BackboneConfig::Cml,
+            loss: LossConfig::Hinge { margin: 0.5 },
+            epochs: 10,
+            lr: 0.05,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert_eq!(out.eval_score, bsl_models::EvalScore::NegSqDist);
+        assert!(out.best.ndcg(20).is_finite());
+        assert!(out.best.ndcg(20) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let ds = tiny();
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::smoke() };
+        let a = Trainer::new(cfg).fit(&ds);
+        let b = Trainer::new(cfg).fit(&ds);
+        assert_eq!(a.best.ndcg(20), b.best.ndcg(20));
+        assert_eq!(a.user_emb.as_slice(), b.user_emb.as_slice());
+    }
+
+    #[test]
+    fn early_stopping_can_truncate() {
+        let ds = tiny();
+        let cfg = TrainConfig {
+            epochs: 40,
+            eval_every: 1,
+            patience: 2,
+            lr: 0.1, // aggressive LR so NDCG plateaus/oscillates early
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.history.len() <= 40);
+        assert!(!out.eval_history.is_empty());
+    }
+
+    #[test]
+    fn evaluate_on_matches_best_report() {
+        let ds = tiny();
+        let cfg = TrainConfig { epochs: 4, ..TrainConfig::smoke() };
+        let out = Trainer::new(cfg).fit(&ds);
+        let re = out.evaluate_on(&ds, &[20]);
+        assert!((re.ndcg(20) - out.best.ndcg(20)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_sampling_config_runs() {
+        let ds = tiny();
+        let cfg = TrainConfig {
+            sampling: SamplingConfig::Noisy { r_noise: 2.0 },
+            epochs: 3,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20).is_finite());
+    }
+
+    #[test]
+    fn popularity_sampling_config_runs() {
+        let ds = tiny();
+        let cfg = TrainConfig {
+            sampling: SamplingConfig::Popularity { alpha: 1.0 },
+            epochs: 3,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20).is_finite());
+    }
+}

@@ -1,0 +1,254 @@
+//! Numerical verification of Lemma 1: the KL-constrained primal problem
+//! and its Log-Expectation-Exp dual attain the same value.
+//!
+//! Primal (Eq. 7's inner maximization, uniform base):
+//!
+//! ```text
+//! primal(η) = max { E_P[f] : D_KL(P ‖ P0) ≤ η }
+//! ```
+//!
+//! Dual (the form SL optimizes, Eq. 11–12):
+//!
+//! ```text
+//! dual(η) = min_{τ>0}  τ·log E_{P0}[e^{f/τ}] + τ·η
+//! ```
+//!
+//! Strong duality holds (the primal is a linear objective over a convex
+//! set), so `primal(η) = dual(η)`; [`duality_gap`] measures the numerical
+//! difference and the tests assert it vanishes — a machine-checked instance
+//! of Lemma 1.
+
+use crate::weights::{kl_divergence, worst_case_weights};
+use bsl_linalg::stats::logsumexp;
+
+/// Result of solving the primal problem.
+#[derive(Clone, Debug)]
+pub struct PrimalSolution {
+    /// The optimal adversarial distribution `P*`.
+    pub weights: Vec<f64>,
+    /// The achieved objective `E_{P*}[f]`.
+    pub value: f64,
+    /// The temperature realizing `P*` (`None` when the constraint is slack
+    /// and `P*` collapses onto the maximizers — the τ→0 limit).
+    pub tau: Option<f64>,
+}
+
+fn expectation(weights: &[f64], scores: &[f32]) -> f64 {
+    weights.iter().zip(scores.iter()).map(|(&w, &f)| w * f as f64).sum()
+}
+
+/// Solves the primal KL-constrained maximization by bisection on the tilt
+/// temperature (KL(P*_τ ‖ P0) is monotone decreasing in τ).
+///
+/// # Panics
+/// Panics if `eta <= 0` or `scores` is empty.
+pub fn solve_primal(scores: &[f32], eta: f64) -> PrimalSolution {
+    assert!(eta > 0.0, "radius must be positive, got {eta}");
+    assert!(!scores.is_empty(), "empty score vector");
+    let n = scores.len();
+    let p0 = vec![1.0 / n as f64; n];
+    let kl_at = |tau: f64| kl_divergence(&worst_case_weights(scores, tau), &p0);
+
+    // The sharpest reachable tilt: as τ→0, P* → uniform over argmax f.
+    let (mut lo, mut hi) = (1e-6f64, 1e6f64);
+    if kl_at(lo) <= eta {
+        // Constraint slack even at the sharpest tilt: the optimum is the
+        // point-mass limit on the maximizers.
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let maximizers: Vec<usize> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| (f - max).abs() < 1e-12)
+            .map(|(i, _)| i)
+            .collect();
+        let mut weights = vec![0.0f64; n];
+        for &i in &maximizers {
+            weights[i] = 1.0 / maximizers.len() as f64;
+        }
+        let value = expectation(&weights, scores);
+        return PrimalSolution { weights, value, tau: None };
+    }
+    // Invariant: kl_at(lo) > eta >= kl_at(hi)  (kl_at(hi) ≈ 0 at τ=1e6).
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // geometric bisection over decades
+        if kl_at(mid) > eta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi / lo < 1.0 + 1e-12 {
+            break;
+        }
+    }
+    let tau = (lo * hi).sqrt();
+    let weights = worst_case_weights(scores, tau);
+    let value = expectation(&weights, scores);
+    PrimalSolution { weights, value, tau: Some(tau) }
+}
+
+/// The primal optimum `max { E_P[f] : KL ≤ η }`.
+pub fn primal_value(scores: &[f32], eta: f64) -> f64 {
+    solve_primal(scores, eta).value
+}
+
+fn dual_objective(scores: &[f32], eta: f64, tau: f64) -> f64 {
+    let scaled: Vec<f32> = scores.iter().map(|&f| (f as f64 / tau) as f32).collect();
+    let lme = logsumexp(&scaled) - (scores.len() as f64).ln();
+    tau * lme + tau * eta
+}
+
+/// The dual optimum `min_τ τ·logmeanexp(f/τ) + τη`, found by golden-section
+/// search on `log τ` (the objective is convex in τ).
+///
+/// # Panics
+/// Panics if `eta <= 0` or `scores` is empty.
+pub fn dual_value(scores: &[f32], eta: f64) -> f64 {
+    assert!(eta > 0.0, "radius must be positive, got {eta}");
+    assert!(!scores.is_empty(), "empty score vector");
+    let f = |log_tau: f64| dual_objective(scores, eta, log_tau.exp());
+    let (mut a, mut b) = ((1e-6f64).ln(), (1e6f64).ln());
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..300 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+        if b - a < 1e-12 {
+            break;
+        }
+    }
+    f((a + b) / 2.0)
+}
+
+/// `|primal(η) − dual(η)|` — Lemma 1 says this is zero.
+pub fn duality_gap(scores: &[f32], eta: f64) -> f64 {
+    (primal_value(scores, eta) - dual_value(scores, eta)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scores() -> Vec<f32> {
+        vec![0.3, -0.2, 0.7, 0.1, -0.6, 0.45, 0.0, 0.25]
+    }
+
+    #[test]
+    fn lemma1_duality_gap_vanishes() {
+        for eta in [0.01, 0.1, 0.5, 1.0] {
+            let gap = duality_gap(&scores(), eta);
+            assert!(gap < 1e-5, "duality gap {gap} at eta {eta}");
+        }
+    }
+
+    #[test]
+    fn primal_kl_constraint_is_tight_when_active() {
+        let s = scores();
+        let sol = solve_primal(&s, 0.2);
+        let n = s.len();
+        let p0 = vec![1.0 / n as f64; n];
+        let kl = kl_divergence(&sol.weights, &p0);
+        assert!((kl - 0.2).abs() < 1e-6, "constraint not tight: KL = {kl}");
+        assert!(sol.tau.is_some());
+    }
+
+    #[test]
+    fn primal_value_monotone_in_radius() {
+        let s = scores();
+        let v1 = primal_value(&s, 0.05);
+        let v2 = primal_value(&s, 0.2);
+        let v3 = primal_value(&s, 1.0);
+        assert!(v1 < v2 && v2 < v3, "{v1} {v2} {v3}");
+    }
+
+    #[test]
+    fn tiny_radius_approaches_mean() {
+        let s = scores();
+        let mean: f64 = s.iter().map(|&x| x as f64).sum::<f64>() / s.len() as f64;
+        let v = primal_value(&s, 1e-6);
+        assert!((v - mean).abs() < 0.05, "value {v} vs mean {mean}");
+    }
+
+    #[test]
+    fn huge_radius_approaches_max() {
+        let s = scores();
+        let sol = solve_primal(&s, 100.0);
+        assert!((sol.value - 0.7).abs() < 1e-6, "value {} vs max 0.7", sol.value);
+        assert!(sol.tau.is_none(), "constraint should be slack");
+        let dual = dual_value(&s, 100.0);
+        // Dual stays an upper bound but cannot be tight when the point-mass
+        // limit is the primal optimum and τ is forced positive; it must
+        // still be ≥ the max.
+        assert!(dual >= 0.7 - 1e-9);
+    }
+
+    #[test]
+    fn constant_scores_give_constant_value() {
+        let s = vec![0.42f32; 10];
+        assert!((primal_value(&s, 0.3) - 0.42).abs() < 1e-6);
+        assert!((dual_value(&s, 1e-9) - 0.42).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dual_temperature_matches_sl_form() {
+        // At the dual optimum, the dual objective equals
+        // τ*·logmeanexp(f/τ*) + τ*η — exactly the negative part of SL plus
+        // the constant C = τη of Eq. 12.
+        let s = scores();
+        let eta = 0.15;
+        let sol = solve_primal(&s, eta);
+        let tau = sol.tau.expect("active constraint");
+        let direct = dual_objective(&s, eta, tau);
+        assert!((direct - dual_value(&s, eta)).abs() < 1e-6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Lemma 1 on random instances: strong duality holds to 1e-4.
+        #[test]
+        fn prop_strong_duality(
+            s in proptest::collection::vec(-1.0f32..1.0, 2..24),
+            eta in 0.01f64..1.5,
+        ) {
+            let gap = duality_gap(&s, eta);
+            prop_assert!(gap < 1e-4, "gap {gap}");
+        }
+
+        /// Weak duality (dual ≥ primal) holds even where the bisection is
+        /// at its tolerance limits.
+        #[test]
+        fn prop_weak_duality(
+            s in proptest::collection::vec(-1.0f32..1.0, 2..24),
+            eta in 0.005f64..3.0,
+        ) {
+            let p = primal_value(&s, eta);
+            let d = dual_value(&s, eta);
+            prop_assert!(d >= p - 1e-6, "dual {d} < primal {p}");
+        }
+
+        /// The primal value is sandwiched between mean and max.
+        #[test]
+        fn prop_value_bounds(
+            s in proptest::collection::vec(-1.0f32..1.0, 2..24),
+            eta in 0.01f64..2.0,
+        ) {
+            let v = primal_value(&s, eta);
+            let mean: f64 = s.iter().map(|&x| x as f64).sum::<f64>() / s.len() as f64;
+            let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+            prop_assert!(v >= mean - 1e-6 && v <= max + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Distributionally Robust Optimization analysis of the Softmax loss.
+//!
+//! Section III of the paper proves that SL's negative part is the dual of a
+//! KL-constrained DRO problem (Lemma 1), that the dual value admits a
+//! mean-plus-variance Taylor expansion (Lemma 2), and that the optimal
+//! temperature relates to the robustness radius via
+//! `τ* ≈ sqrt(V/2η)` (Corollary III.1). This crate implements each of those
+//! objects *numerically* so the theory can be machine-checked and the
+//! Fig-3/Fig-4b analyses regenerated:
+//!
+//! * [`worst_case_weights`] — the inner maximizer `P*(j) ∝ P0(j)·e^{f_j/τ}`;
+//! * [`kl_divergence`] / [`implied_radius`] — the η a given τ realizes;
+//! * [`optimal_tau`] — Corollary III.1;
+//! * [`primal_value`] / [`dual_value`] — both sides of Lemma 1's duality,
+//!   with [`duality_gap`] measuring their difference;
+//! * [`taylor_value`] / [`taylor_remainder`] — Lemma 2's expansion.
+
+#![deny(missing_docs)]
+
+pub mod duality;
+pub mod weights;
+
+pub use duality::{dual_value, duality_gap, primal_value, solve_primal};
+pub use weights::{
+    implied_radius, kl_divergence, optimal_tau, taylor_remainder, taylor_value,
+    worst_case_weights, worst_case_weights_base,
+};

@@ -1,0 +1,237 @@
+//! Worst-case distributions, KL radii and the Lemma-2 Taylor expansion.
+
+use bsl_linalg::stats::{logsumexp, mean_var};
+
+/// The worst-case (adversarial) distribution of Lemma 1 under a *uniform*
+/// base distribution: `P*(j) ∝ exp(f_j / τ)`.
+///
+/// This is the tilted distribution SL implicitly reweights negatives by;
+/// Fig 4b plots these weights against the prediction scores.
+///
+/// # Panics
+/// Panics if `tau <= 0` or `scores` is empty.
+pub fn worst_case_weights(scores: &[f32], tau: f64) -> Vec<f64> {
+    let n = scores.len();
+    let base = vec![1.0 / n as f64; n];
+    worst_case_weights_base(scores, &base, tau)
+}
+
+/// The worst-case distribution under an arbitrary base `P0`:
+/// `P*(j) ∝ P0(j) · exp(f_j / τ)`.
+///
+/// # Panics
+/// Panics if `tau <= 0`, the slices disagree in length, `scores` is empty,
+/// or `base` is not a probability vector (up to 1e-6).
+pub fn worst_case_weights_base(scores: &[f32], base: &[f64], tau: f64) -> Vec<f64> {
+    assert!(tau > 0.0, "temperature must be positive, got {tau}");
+    assert!(!scores.is_empty(), "empty score vector");
+    assert_eq!(scores.len(), base.len(), "scores/base length mismatch");
+    let total: f64 = base.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6, "base distribution sums to {total}");
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let mut w: Vec<f64> = scores
+        .iter()
+        .zip(base.iter())
+        .map(|(&f, &p0)| p0 * ((f as f64 - max) / tau).exp())
+        .collect();
+    let z: f64 = w.iter().sum();
+    for wi in &mut w {
+        *wi /= z;
+    }
+    w
+}
+
+/// KL divergence `D_KL(P ‖ P0)` between two distributions on the same
+/// support, with the convention `0·ln(0/q) = 0`.
+///
+/// # Panics
+/// Panics on length mismatch or when `P` puts mass where `P0` has none.
+pub fn kl_divergence(p: &[f64], p0: &[f64]) -> f64 {
+    assert_eq!(p.len(), p0.len(), "distribution length mismatch");
+    let mut kl = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(p0.iter()) {
+        if pi <= 0.0 {
+            continue;
+        }
+        assert!(qi > 0.0, "P is not absolutely continuous w.r.t. P0");
+        kl += pi * (pi / qi).ln();
+    }
+    kl.max(0.0)
+}
+
+/// The robustness radius η a temperature `tau` *realizes* on a given score
+/// vector: `η = D_KL(P*_τ ‖ P0)` with uniform `P0`. This is the quantity
+/// Fig 3b plots at the grid-searched best τ per noise level.
+///
+/// # Panics
+/// Panics if `tau <= 0` or `scores` is empty.
+pub fn implied_radius(scores: &[f32], tau: f64) -> f64 {
+    let n = scores.len();
+    let p = worst_case_weights(scores, tau);
+    let p0 = vec![1.0 / n as f64; n];
+    kl_divergence(&p, &p0)
+}
+
+/// Corollary III.1: the optimal temperature for variance `var` and radius
+/// `eta` is `τ* ≈ sqrt(var / (2η))`.
+///
+/// # Panics
+/// Panics unless `var >= 0` and `eta > 0`.
+pub fn optimal_tau(var: f64, eta: f64) -> f64 {
+    assert!(var >= 0.0, "variance must be non-negative, got {var}");
+    assert!(eta > 0.0, "radius must be positive, got {eta}");
+    (var / (2.0 * eta)).sqrt()
+}
+
+/// Lemma 2's second-order expansion of the negative part:
+/// `τ·logmeanexp(f/τ) ≈ mean(f) + Var(f)/(2τ)`.
+pub fn taylor_value(scores: &[f32], tau: f64) -> f64 {
+    let (mean, var) = mean_var(scores);
+    mean + var / (2.0 * tau)
+}
+
+/// The absolute remainder `|τ·logmeanexp(f/τ) − (mean + Var/2τ)|` — Lemma 2
+/// predicts it decays as `o(1/τ)`.
+///
+/// # Panics
+/// Panics if `tau <= 0` or `scores` is empty.
+pub fn taylor_remainder(scores: &[f32], tau: f64) -> f64 {
+    assert!(tau > 0.0, "temperature must be positive, got {tau}");
+    assert!(!scores.is_empty(), "empty score vector");
+    let scaled: Vec<f32> = scores.iter().map(|&f| (f as f64 / tau) as f32).collect();
+    let exact = tau * (logsumexp(&scaled) - (scores.len() as f64).ln());
+    (exact - taylor_value(scores, tau)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scores() -> Vec<f32> {
+        vec![0.3, -0.2, 0.7, 0.1, -0.6, 0.45]
+    }
+
+    #[test]
+    fn weights_form_distribution_and_order_by_score() {
+        let w = worst_case_weights(&scores(), 0.1);
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        // Highest score (index 2) gets the largest weight.
+        let max_idx = w.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
+        assert_eq!(max_idx, Some(2));
+    }
+
+    #[test]
+    fn lower_tau_is_more_extreme() {
+        let sharp = worst_case_weights(&scores(), 0.05);
+        let soft = worst_case_weights(&scores(), 0.5);
+        assert!(sharp[2] > soft[2], "sharp {:.4} soft {:.4}", sharp[2], soft[2]);
+        // And in the τ→∞ limit the weights flatten to uniform.
+        let flat = worst_case_weights(&scores(), 1e6);
+        for &w in &flat {
+            assert!((w - 1.0 / 6.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nonuniform_base_biases_weights() {
+        let s = [0.0f32, 0.0];
+        let w = worst_case_weights_base(&s, &[0.9, 0.1], 0.1);
+        assert!((w[0] - 0.9).abs() < 1e-12, "equal scores keep the base ratio");
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = [0.25f64; 4];
+        assert!(kl_divergence(&p, &p) < 1e-15);
+        let q = [0.4, 0.3, 0.2, 0.1];
+        assert!(kl_divergence(&q, &p) > 0.0);
+    }
+
+    #[test]
+    fn kl_hand_example() {
+        // KL([1,0] || [0.5,0.5]) = ln 2.
+        let kl = kl_divergence(&[1.0, 0.0], &[0.5, 0.5]);
+        assert!((kl - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implied_radius_shrinks_with_tau() {
+        let s = scores();
+        let lo = implied_radius(&s, 0.05);
+        let mid = implied_radius(&s, 0.1);
+        let hi = implied_radius(&s, 1.0);
+        assert!(lo > mid && mid > hi, "η not monotone: {lo} {mid} {hi}");
+        assert!(implied_radius(&s, 1e6) < 1e-6, "η must vanish as τ→∞");
+    }
+
+    #[test]
+    fn optimal_tau_corollary_roundtrip() {
+        // If τ* = sqrt(V/2η), then η = V/(2τ*²).
+        let var = 0.04f64;
+        let eta = 0.5f64;
+        let tau = optimal_tau(var, eta);
+        assert!((var / (2.0 * tau * tau) - eta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_tau_grows_with_variance() {
+        assert!(optimal_tau(0.09, 0.5) > optimal_tau(0.01, 0.5));
+        assert!(optimal_tau(0.04, 0.25) > optimal_tau(0.04, 1.0));
+    }
+
+    #[test]
+    fn taylor_remainder_decays() {
+        let s = scores();
+        let r1 = taylor_remainder(&s, 1.0);
+        let r2 = taylor_remainder(&s, 2.0);
+        let r4 = taylor_remainder(&s, 4.0);
+        assert!(r2 < r1 && r4 < r2, "remainder not decaying: {r1} {r2} {r4}");
+        // o(1/τ): τ·remainder → 0.
+        assert!(4.0 * r4 < 1.0 * r1);
+    }
+
+    #[test]
+    #[should_panic(expected = "absolutely continuous")]
+    fn kl_rejects_unsupported_mass() {
+        let _ = kl_divergence(&[0.5, 0.5], &[1.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weights_distribution(
+            s in proptest::collection::vec(-2.0f32..2.0, 1..40),
+            tau in 0.05f64..5.0,
+        ) {
+            let w = worst_case_weights(&s, tau);
+            let total: f64 = w.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(w.iter().all(|&x| x >= 0.0));
+        }
+
+        #[test]
+        fn prop_kl_nonnegative(
+            raw_p in proptest::collection::vec(0.01f64..1.0, 2..20),
+        ) {
+            let zp: f64 = raw_p.iter().sum();
+            let p: Vec<f64> = raw_p.iter().map(|x| x / zp).collect();
+            let n = p.len();
+            let u = vec![1.0 / n as f64; n];
+            prop_assert!(kl_divergence(&p, &u) >= 0.0);
+        }
+
+        /// The adversarial expectation E_{P*}[f] never falls below the base
+        /// mean — the worst case is at least as bad as the average case.
+        #[test]
+        fn prop_worst_case_expectation_dominates_mean(
+            s in proptest::collection::vec(-2.0f32..2.0, 2..30),
+            tau in 0.05f64..5.0,
+        ) {
+            let w = worst_case_weights(&s, tau);
+            let adv: f64 = w.iter().zip(s.iter()).map(|(&wi, &fi)| wi * fi as f64).sum();
+            let mean: f64 = s.iter().map(|&x| x as f64).sum::<f64>() / s.len() as f64;
+            prop_assert!(adv >= mean - 1e-6);
+        }
+    }
+}

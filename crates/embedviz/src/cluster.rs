@@ -1,0 +1,166 @@
+//! Quantitative cluster-separation metrics.
+
+use bsl_linalg::kernels::sq_dist;
+use bsl_linalg::Matrix;
+
+/// Mean silhouette coefficient of `data` (`n × d`) under `labels`.
+///
+/// For each point: `s = (b − a) / max(a, b)` with `a` the mean distance to
+/// its own cluster and `b` the smallest mean distance to another cluster.
+/// Points in singleton clusters contribute 0 (scikit-learn convention).
+/// Returns a value in `[-1, 1]`; higher = better separated.
+///
+/// # Panics
+/// Panics if lengths disagree or fewer than 2 clusters are present.
+pub fn silhouette(data: &Matrix, labels: &[u16]) -> f64 {
+    let n = data.rows();
+    assert_eq!(labels.len(), n, "one label per row");
+    let k = labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l as usize] += 1;
+    }
+    assert!(counts.iter().filter(|&&c| c > 0).count() >= 2, "need at least two clusters");
+
+    let mut total = 0.0f64;
+    let mut dist_sums = vec![0.0f64; k];
+    for i in 0..n {
+        let li = labels[i] as usize;
+        if counts[li] <= 1 {
+            continue; // silhouette of a singleton is defined as 0
+        }
+        dist_sums.iter_mut().for_each(|x| *x = 0.0);
+        let ri = data.row(i);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sums[labels[j] as usize] += (sq_dist(ri, data.row(j)) as f64).sqrt();
+        }
+        let a = dist_sums[li] / (counts[li] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != li && counts[c] > 0)
+            .map(|c| dist_sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+/// Davies–Bouldin index: mean over clusters of the worst
+/// `(scatter_i + scatter_j) / centroid_distance(i, j)` ratio.
+/// Lower = better separated (0 is perfect).
+///
+/// # Panics
+/// Panics if lengths disagree or fewer than 2 non-empty clusters exist.
+pub fn davies_bouldin(data: &Matrix, labels: &[u16]) -> f64 {
+    let n = data.rows();
+    let d = data.cols();
+    assert_eq!(labels.len(), n, "one label per row");
+    let k = labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut counts = vec![0usize; k];
+    let mut centroids = Matrix::zeros(k, d);
+    for (i, &l) in labels.iter().enumerate() {
+        counts[l as usize] += 1;
+        let c = centroids.row_mut(l as usize);
+        for (cc, &x) in c.iter_mut().zip(data.row(i)) {
+            *cc += x;
+        }
+    }
+    let live: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
+    assert!(live.len() >= 2, "need at least two clusters");
+    for &c in &live {
+        let inv = 1.0 / counts[c] as f32;
+        for x in centroids.row_mut(c) {
+            *x *= inv;
+        }
+    }
+    // Mean intra-cluster distance to centroid.
+    let mut scatter = vec![0.0f64; k];
+    for (i, &l) in labels.iter().enumerate() {
+        scatter[l as usize] +=
+            (sq_dist(data.row(i), centroids.row(l as usize)) as f64).sqrt();
+    }
+    for &c in &live {
+        scatter[c] /= counts[c] as f64;
+    }
+    let mut total = 0.0f64;
+    for &i in &live {
+        let mut worst = 0.0f64;
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let dist = (sq_dist(centroids.row(i), centroids.row(j)) as f64).sqrt();
+            if dist > 1e-12 {
+                worst = worst.max((scatter[i] + scatter[j]) / dist);
+            } else {
+                worst = f64::INFINITY;
+            }
+        }
+        total += worst;
+    }
+    total / live.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(sep: f32, seed: u64) -> (Matrix, Vec<u16>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Matrix::zeros(90, 2);
+        let mut labels = Vec::with_capacity(90);
+        for i in 0..90 {
+            let c = i % 3;
+            let (cx, cy) = [(0.0, 0.0), (sep, 0.0), (0.0, sep)][c];
+            data.set(i, 0, cx + rng.gen_range(-0.5..0.5));
+            data.set(i, 1, cy + rng.gen_range(-0.5..0.5));
+            labels.push(c as u16);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let (data, labels) = blobs(10.0, 1);
+        assert!(silhouette(&data, &labels) > 0.8);
+        assert!(davies_bouldin(&data, &labels) < 0.3);
+    }
+
+    #[test]
+    fn overlapping_blobs_score_low() {
+        let (data, labels) = blobs(0.2, 2);
+        assert!(silhouette(&data, &labels) < 0.2);
+        assert!(davies_bouldin(&data, &labels) > 1.0);
+    }
+
+    #[test]
+    fn separation_orderings_agree() {
+        let (tight, l1) = blobs(8.0, 3);
+        let (loose, l2) = blobs(1.0, 3);
+        assert!(silhouette(&tight, &l1) > silhouette(&loose, &l2));
+        assert!(davies_bouldin(&tight, &l1) < davies_bouldin(&loose, &l2));
+    }
+
+    #[test]
+    fn random_labels_near_zero_silhouette() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = Matrix::gaussian(80, 3, 1.0, &mut rng);
+        let labels: Vec<u16> = (0..80).map(|_| rng.gen_range(0..4u16)).collect();
+        let s = silhouette(&data, &labels);
+        assert!(s.abs() < 0.15, "random labelling should be ≈0, got {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two clusters")]
+    fn silhouette_rejects_single_cluster() {
+        let data = Matrix::zeros(4, 2);
+        let _ = silhouette(&data, &[0, 0, 0, 0]);
+    }
+}

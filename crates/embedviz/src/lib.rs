@@ -1,0 +1,21 @@
+//! Embedding-quality analysis for the Fig-10/11 studies.
+//!
+//! The paper argues visually (t-SNE plots) that BSL keeps item embeddings
+//! group-separated under positive noise while SL degrades toward a uniform
+//! blob. This crate reproduces that analysis twice over:
+//!
+//! * [`tsne`] — an exact (O(n²)) t-SNE so the 2-D maps can be regenerated
+//!   and exported as CSV;
+//! * [`cluster`] — *quantitative* separation scores (mean silhouette,
+//!   Davies–Bouldin) over the generator's ground-truth item clusters, which
+//!   turn "the blobs look tighter" into a number a test can assert on.
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod pca;
+pub mod tsne;
+
+pub use cluster::{davies_bouldin, silhouette};
+pub use pca::pca_project;
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,148 @@
+//! Principal component analysis via power iteration with deflation —
+//! used to initialize t-SNE and as a cheap linear projection.
+
+use bsl_linalg::Matrix;
+
+/// Projects `data` (`n × d`) onto its top `k` principal components,
+/// returning an `n × k` matrix. Components are computed by power iteration
+/// on the `d × d` covariance with Hotelling deflation (fine for the small
+/// `d` used by embedding tables).
+///
+/// # Panics
+/// Panics if `k == 0` or `k > d` or `data` has fewer than 2 rows.
+pub fn pca_project(data: &Matrix, k: usize) -> Matrix {
+    let (n, d) = data.shape();
+    assert!(k > 0 && k <= d, "component count {k} out of range for dim {d}");
+    assert!(n >= 2, "need at least two points");
+
+    // Center.
+    let mut mean = vec![0.0f64; d];
+    for r in 0..n {
+        for (m, &x) in mean.iter_mut().zip(data.row(r)) {
+            *m += x as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let mut centered = Matrix::zeros(n, d);
+    for r in 0..n {
+        for c in 0..d {
+            centered.set(r, c, (data.get(r, c) as f64 - mean[c]) as f32);
+        }
+    }
+    // Covariance (unnormalized — scaling does not change components).
+    let mut cov = centered.matmul_tn(&centered);
+
+    // Power iteration with deflation.
+    let mut components = Matrix::zeros(k, d);
+    for comp in 0..k {
+        // Deterministic start vector that is unlikely to be orthogonal to
+        // the leading eigenvector.
+        let mut v: Vec<f64> = (0..d).map(|j| 1.0 + ((j + comp * 7) % 5) as f64 * 0.1).collect();
+        let mut lambda = 0.0f64;
+        for _ in 0..200 {
+            // w = cov · v
+            let mut w = vec![0.0f64; d];
+            for (i, wi) in w.iter_mut().enumerate() {
+                let row = cov.row(i);
+                *wi = row.iter().zip(v.iter()).map(|(&c, &x)| c as f64 * x).sum();
+            }
+            let norm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-30 {
+                break;
+            }
+            for (vi, wi) in v.iter_mut().zip(w.iter()) {
+                *vi = wi / norm;
+            }
+            lambda = norm;
+        }
+        for (c, &vi) in v.iter().enumerate() {
+            components.set(comp, c, vi as f32);
+        }
+        // Deflate: cov ← cov − λ·v·vᵀ.
+        for i in 0..d {
+            for j in 0..d {
+                let cur = cov.get(i, j);
+                cov.set(i, j, cur - (lambda * v[i] * v[j]) as f32);
+            }
+        }
+    }
+
+    // Project.
+    let mut out = Matrix::zeros(n, k);
+    for r in 0..n {
+        for comp in 0..k {
+            out.set(r, comp, bsl_linalg::kernels::dot(centered.row(r), components.row(comp)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data stretched along one axis: PC1 must capture that axis.
+    #[test]
+    fn recovers_dominant_direction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Matrix::zeros(200, 3);
+        for r in 0..200 {
+            let t: f32 = rng.gen_range(-5.0..5.0);
+            data.set(r, 0, t + rng.gen_range(-0.1..0.1));
+            data.set(r, 1, rng.gen_range(-0.1..0.1));
+            data.set(r, 2, rng.gen_range(-0.1..0.1));
+        }
+        let proj = pca_project(&data, 1);
+        // Variance of the projection ≈ variance of axis 0.
+        let var_axis: f64 = {
+            let m: f64 = (0..200).map(|r| data.get(r, 0) as f64).sum::<f64>() / 200.0;
+            (0..200).map(|r| (data.get(r, 0) as f64 - m).powi(2)).sum::<f64>() / 200.0
+        };
+        let var_proj: f64 = {
+            let m: f64 = (0..200).map(|r| proj.get(r, 0) as f64).sum::<f64>() / 200.0;
+            (0..200).map(|r| (proj.get(r, 0) as f64 - m).powi(2)).sum::<f64>() / 200.0
+        };
+        assert!(var_proj >= var_axis * 0.98, "projection lost variance: {var_proj} vs {var_axis}");
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Matrix::gaussian(50, 4, 1.0, &mut rng);
+        let proj = pca_project(&data, 2);
+        for c in 0..2 {
+            let m: f64 = (0..50).map(|r| proj.get(r, c) as f64).sum::<f64>() / 50.0;
+            assert!(m.abs() < 1e-3, "component {c} mean {m}");
+        }
+    }
+
+    #[test]
+    fn successive_components_capture_decreasing_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Matrix::zeros(300, 4);
+        for r in 0..300 {
+            data.set(r, 0, rng.gen_range(-4.0..4.0));
+            data.set(r, 1, rng.gen_range(-2.0..2.0));
+            data.set(r, 2, rng.gen_range(-0.5..0.5));
+            data.set(r, 3, rng.gen_range(-0.1..0.1));
+        }
+        let proj = pca_project(&data, 3);
+        let var = |c: usize| -> f64 {
+            let m: f64 = (0..300).map(|r| proj.get(r, c) as f64).sum::<f64>() / 300.0;
+            (0..300).map(|r| (proj.get(r, c) as f64 - m).powi(2)).sum::<f64>() / 300.0
+        };
+        assert!(var(0) > var(1));
+        assert!(var(1) > var(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_too_many_components() {
+        let data = Matrix::zeros(5, 2);
+        let _ = pca_project(&data, 3);
+    }
+}

@@ -1,0 +1,261 @@
+//! Exact (O(n²)) t-SNE (van der Maaten & Hinton, 2008) for the Fig-10/11
+//! embedding maps. Suitable for the ≤1k-item synthetic catalogues.
+
+use crate::pca::pca_project;
+use bsl_linalg::kernels::sq_dist;
+use bsl_linalg::Matrix;
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbourhood size).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Early-exaggeration factor applied for the first quarter of iters.
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iters: 300, lr: 100.0, exaggeration: 4.0 }
+    }
+}
+
+/// Per-point binary search for the Gaussian bandwidth matching the target
+/// perplexity; returns the row of conditional probabilities `p_{j|i}`.
+fn conditional_probs(sq_dists: &[f64], i: usize, perplexity: f64, out: &mut [f64]) {
+    let target_entropy = perplexity.ln();
+    let mut beta = 1.0f64; // 1/(2σ²)
+    let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+    for _ in 0..60 {
+        let mut sum = 0.0f64;
+        let mut weighted = 0.0f64;
+        for (j, (&d2, o)) in sq_dists.iter().zip(out.iter_mut()).enumerate() {
+            if j == i {
+                *o = 0.0;
+                continue;
+            }
+            let p = (-beta * d2).exp();
+            *o = p;
+            sum += p;
+            weighted += p * d2;
+        }
+        if sum <= 1e-300 {
+            beta /= 2.0;
+            beta_hi = beta * 2.0;
+            continue;
+        }
+        // Shannon entropy of the normalized distribution.
+        let entropy = beta * weighted / sum + sum.ln();
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_lo = beta;
+            beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+        } else {
+            beta_hi = beta;
+            beta = (beta + beta_lo) / 2.0;
+        }
+    }
+    let sum: f64 = out.iter().sum();
+    if sum > 0.0 {
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+    }
+}
+
+/// Runs exact t-SNE on `data` (`n × d`), returning an `n × 2` map.
+/// Deterministic: initialized from the top-2 PCA projection (scaled to
+/// 1e-4 std as in the reference implementation).
+///
+/// # Panics
+/// Panics if `n < 5` or the perplexity is not positive / too large for `n`.
+pub fn tsne(data: &Matrix, cfg: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 5, "t-SNE needs at least 5 points");
+    assert!(cfg.perplexity > 0.0, "perplexity must be positive");
+    assert!((cfg.perplexity as usize) < n, "perplexity {} too large for n {n}", cfg.perplexity);
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = sq_dist(data.row(i), data.row(j)) as f64;
+            d2[i * n + j] = v;
+            d2[j * n + i] = v;
+        }
+    }
+    // Symmetrized joint probabilities.
+    let mut p = vec![0.0f64; n * n];
+    {
+        let mut row = vec![0.0f64; n];
+        for i in 0..n {
+            conditional_probs(&d2[i * n..(i + 1) * n], i, cfg.perplexity, &mut row);
+            for (j, &pj) in row.iter().enumerate() {
+                p[i * n + j] += pj / (2.0 * n as f64);
+                p[j * n + i] += pj / (2.0 * n as f64);
+            }
+        }
+    }
+    for x in &mut p {
+        *x = x.max(1e-12);
+    }
+
+    // Init from PCA, scaled down.
+    let mut y = pca_project(data, 2.min(data.cols()));
+    if y.cols() == 1 {
+        // Degenerate 1-D input: pad a zero column.
+        let mut padded = Matrix::zeros(n, 2);
+        for r in 0..n {
+            padded.set(r, 0, y.get(r, 0));
+        }
+        y = padded;
+    }
+    let scale: f64 = {
+        let norm = y.frob_norm().max(1e-12);
+        1e-4 * (n as f64).sqrt() / norm
+    };
+    y.scale(scale as f32);
+
+    let mut velocity = Matrix::zeros(n, 2);
+    let mut grad = Matrix::zeros(n, 2);
+    let mut q = vec![0.0f64; n * n];
+
+    for iter in 0..cfg.iters {
+        let exag = if iter < cfg.iters / 4 { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities.
+        let mut q_sum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dy0 = (y.get(i, 0) - y.get(j, 0)) as f64;
+                let dy1 = (y.get(i, 1) - y.get(j, 1)) as f64;
+                let w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                q_sum += 2.0 * w;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+        // Gradient: 4 Σ_j (p_ij·exag − q_ij)·w_ij·(y_i − y_j).
+        grad.fill(0.0);
+        for i in 0..n {
+            let mut g0 = 0.0f64;
+            let mut g1 = 0.0f64;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let coef = 4.0 * (exag * p[i * n + j] - w / q_sum) * w;
+                g0 += coef * (y.get(i, 0) - y.get(j, 0)) as f64;
+                g1 += coef * (y.get(i, 1) - y.get(j, 1)) as f64;
+            }
+            grad.set(i, 0, g0 as f32);
+            grad.set(i, 1, g1 as f32);
+        }
+        // Momentum descent.
+        let momentum = if iter < 20 { 0.5 } else { 0.8 };
+        for r in 0..n {
+            for c in 0..2 {
+                let v = momentum * velocity.get(r, c) - (cfg.lr as f32) * grad.get(r, c);
+                velocity.set(r, c, v);
+                y.set(r, c, y.get(r, c) + v);
+            }
+        }
+        // Re-center.
+        for c in 0..2 {
+            let mean: f32 = (0..n).map(|r| y.get(r, c)).sum::<f32>() / n as f32;
+            for r in 0..n {
+                y.set(r, c, y.get(r, c) - mean);
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::silhouette;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs_hi_dim(n_per: usize, sep: f32, seed: u64) -> (Matrix, Vec<u16>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = n_per * 3;
+        let mut data = Matrix::zeros(n, 8);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 3;
+            labels.push(c as u16);
+            for j in 0..8 {
+                let centre = if j == c { sep } else { 0.0 };
+                data.set(i, j, centre + rng.gen_range(-0.3..0.3));
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn preserves_cluster_separation() {
+        let (data, labels) = blobs_hi_dim(30, 4.0, 1);
+        let cfg = TsneConfig { perplexity: 10.0, iters: 250, ..TsneConfig::default() };
+        let map = tsne(&data, &cfg);
+        assert_eq!(map.shape(), (90, 2));
+        let s = silhouette(&map, &labels);
+        assert!(s > 0.5, "separated blobs collapsed in the map: silhouette {s}");
+    }
+
+    #[test]
+    fn map_is_finite_and_centered() {
+        let (data, _) = blobs_hi_dim(20, 2.0, 2);
+        let map = tsne(&data, &TsneConfig { perplexity: 8.0, iters: 100, ..Default::default() });
+        assert!(map.as_slice().iter().all(|v| v.is_finite()));
+        for c in 0..2 {
+            let mean: f64 = (0..map.rows()).map(|r| map.get(r, c) as f64).sum::<f64>()
+                / map.rows() as f64;
+            assert!(mean.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (data, _) = blobs_hi_dim(10, 3.0, 3);
+        let cfg = TsneConfig { perplexity: 5.0, iters: 50, ..Default::default() };
+        let a = tsne(&data, &cfg);
+        let b = tsne(&data, &cfg);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn conditional_probs_match_perplexity() {
+        // Uniform square of points: entropy should hit the target.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50;
+        let data = Matrix::gaussian(n, 2, 1.0, &mut rng);
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d2[i * n + j] = sq_dist(data.row(i), data.row(j)) as f64;
+            }
+        }
+        let mut row = vec![0.0f64; n];
+        conditional_probs(&d2[0..n], 0, 15.0, &mut row);
+        let entropy: f64 = -row.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+        let perp = entropy.exp();
+        assert!((perp - 15.0).abs() < 1.0, "achieved perplexity {perp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "perplexity")]
+    fn rejects_oversized_perplexity() {
+        let data = Matrix::zeros(10, 2);
+        let _ = tsne(&data, &TsneConfig { perplexity: 20.0, ..Default::default() });
+    }
+}

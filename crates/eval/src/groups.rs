@@ -1,0 +1,221 @@
+//! Popularity-group decomposition of NDCG — the fairness lens of Figs 4a
+//! and 5.
+//!
+//! Following §III-B4, items are split into popularity groups (larger group
+//! id = more popular) and each user's DCG is *decomposed by the group of
+//! the hit item*: a hit at 0-based rank `r` on an item of group `g`
+//! contributes `discount(r)/IDCG_u` to group `g`. Summing a user's
+//! contributions over groups recovers the user's NDCG@K exactly, so the
+//! per-group curves of Fig 4a are an exact partition of overall NDCG.
+
+use crate::metrics::{dcg_discount, idcg};
+use crate::ranking::ScoreKind;
+use bsl_data::Dataset;
+use bsl_linalg::kernels::{dot, normalize_into};
+use bsl_linalg::topk::top_k_masked;
+use bsl_linalg::Matrix;
+
+/// Mean per-group NDCG@K contributions across evaluable users.
+///
+/// `groups[i]` is the popularity group of item `i` with ids in
+/// `0..n_groups`; the returned vector has length `n_groups` and sums to the
+/// overall NDCG@K.
+///
+/// # Panics
+/// Panics if `k == 0`, shapes disagree, or any group id is out of range.
+pub fn group_ndcg(
+    ds: &Dataset,
+    user_emb: &Matrix,
+    item_emb: &Matrix,
+    kind: ScoreKind,
+    groups: &[u8],
+    n_groups: usize,
+    k: usize,
+) -> Vec<f64> {
+    assert!(k > 0, "cutoff must be positive");
+    assert_eq!(groups.len(), ds.n_items, "one group label per item");
+    assert!(groups.iter().all(|&g| (g as usize) < n_groups), "group id out of range");
+    assert_eq!(user_emb.rows(), ds.n_users, "user embedding rows != n_users");
+    assert_eq!(item_emb.rows(), ds.n_items, "item embedding rows != n_items");
+
+    // Normalize once for cosine.
+    let score_user = |uvec: &[f32], item: usize, items: &Matrix| dot(uvec, items.row(item));
+    let (users_m, items_m);
+    let (users_ref, items_ref): (&Matrix, &Matrix) = match kind {
+        ScoreKind::Dot => (user_emb, item_emb),
+        ScoreKind::Cosine => {
+            let norm = |m: &Matrix| {
+                let mut out = Matrix::zeros(m.rows(), m.cols());
+                for r in 0..m.rows() {
+                    let src = m.row(r).to_vec();
+                    normalize_into(&src, out.row_mut(r));
+                }
+                out
+            };
+            users_m = norm(user_emb);
+            items_m = norm(item_emb);
+            (&users_m, &items_m)
+        }
+    };
+
+    let mut acc = vec![0.0f64; n_groups];
+    let users = ds.evaluable_users();
+    let mut scores: Vec<f32> = Vec::with_capacity(ds.n_items);
+    for &u in &users {
+        let uvec = users_ref.row(u as usize);
+        scores.clear();
+        for i in 0..ds.n_items {
+            scores.push(score_user(uvec, i, items_ref));
+        }
+        let train = ds.train_items(u as usize);
+        let ranked = top_k_masked(&scores, k, |i| train.binary_search(&(i as u32)).is_ok());
+        let relevant = ds.test_items(u as usize);
+        let denom = idcg(relevant.len(), k);
+        if denom <= 0.0 {
+            continue;
+        }
+        for (rank, &item) in ranked.iter().enumerate() {
+            if relevant.binary_search(&item).is_ok() {
+                acc[groups[item as usize] as usize] += dcg_discount(rank) / denom;
+            }
+        }
+    }
+    let n = users.len().max(1) as f64;
+    for a in &mut acc {
+        *a /= n;
+    }
+    acc
+}
+
+/// Per-group NDCG@K with *restricted relevance*: group `g` is scored as if
+/// only that group's test items were relevant (full ranking, train items
+/// masked), averaged over users that hold at least one test item in `g`.
+///
+/// Unlike [`group_ndcg`], the group values do **not** sum to the overall
+/// NDCG — each group is its own retrieval task. This matches how the
+/// paper's Figs 4a/5 report "performance over item groups": a model that
+/// surfaces tail items scores visibly on tail groups even while popular
+/// items still occupy most top-K slots.
+///
+/// # Panics
+/// Panics under the same conditions as [`group_ndcg`].
+pub fn group_ndcg_restricted(
+    ds: &Dataset,
+    user_emb: &Matrix,
+    item_emb: &Matrix,
+    kind: ScoreKind,
+    groups: &[u8],
+    n_groups: usize,
+    k: usize,
+) -> Vec<f64> {
+    assert!(k > 0, "cutoff must be positive");
+    assert_eq!(groups.len(), ds.n_items, "one group label per item");
+    assert!(groups.iter().all(|&g| (g as usize) < n_groups), "group id out of range");
+    assert_eq!(user_emb.rows(), ds.n_users, "user embedding rows != n_users");
+    assert_eq!(item_emb.rows(), ds.n_items, "item embedding rows != n_items");
+
+    let (users_m, items_m);
+    let (users_ref, items_ref): (&Matrix, &Matrix) = match kind {
+        ScoreKind::Dot => (user_emb, item_emb),
+        ScoreKind::Cosine => {
+            let norm = |m: &Matrix| {
+                let mut out = Matrix::zeros(m.rows(), m.cols());
+                for r in 0..m.rows() {
+                    let src = m.row(r).to_vec();
+                    normalize_into(&src, out.row_mut(r));
+                }
+                out
+            };
+            users_m = norm(user_emb);
+            items_m = norm(item_emb);
+            (&users_m, &items_m)
+        }
+    };
+
+    let mut acc = vec![0.0f64; n_groups];
+    let mut counts = vec![0usize; n_groups];
+    let mut scores: Vec<f32> = Vec::with_capacity(ds.n_items);
+    for &u in &ds.evaluable_users() {
+        let uvec = users_ref.row(u as usize);
+        scores.clear();
+        for i in 0..ds.n_items {
+            scores.push(dot(uvec, items_ref.row(i)));
+        }
+        let train = ds.train_items(u as usize);
+        let ranked = top_k_masked(&scores, k, |i| train.binary_search(&(i as u32)).is_ok());
+        let relevant = ds.test_items(u as usize);
+        for g in 0..n_groups {
+            let rel_g: Vec<u32> = relevant
+                .iter()
+                .copied()
+                .filter(|&i| groups[i as usize] as usize == g)
+                .collect();
+            if rel_g.is_empty() {
+                continue;
+            }
+            counts[g] += 1;
+            acc[g] += crate::metrics::user_metrics(&ranked, &rel_g, k).ndcg;
+        }
+    }
+    for (a, &c) in acc.iter_mut().zip(counts.iter()) {
+        if c > 0 {
+            *a /= c as f64;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::evaluate;
+    use bsl_data::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_decomposition_sums_to_overall_ndcg() {
+        let ds = generate(&SynthConfig::tiny(11));
+        let mut rng = StdRng::seed_from_u64(2);
+        let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
+        let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
+        let groups = ds.popularity_groups(10);
+        let per_group = group_ndcg(&ds, &users, &items, ScoreKind::Dot, &groups, 10, 20);
+        let total: f64 = per_group.iter().sum();
+        let overall = evaluate(&ds, &users, &items, ScoreKind::Dot, &[20]).ndcg(20);
+        assert!((total - overall).abs() < 1e-9, "decomposed {total} vs overall {overall}");
+    }
+
+    #[test]
+    fn single_group_captures_everything() {
+        let ds = generate(&SynthConfig::tiny(13));
+        let mut rng = StdRng::seed_from_u64(3);
+        let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
+        let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
+        let groups = vec![0u8; ds.n_items];
+        let per_group = group_ndcg(&ds, &users, &items, ScoreKind::Cosine, &groups, 1, 10);
+        let overall = evaluate(&ds, &users, &items, ScoreKind::Cosine, &[10]).ndcg(10);
+        assert_eq!(per_group.len(), 1);
+        assert!((per_group[0] - overall).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hits_land_in_the_right_group() {
+        // 1 user, 2 items: test item 1 is in group 1.
+        let ds = Dataset::from_pairs("g", 1, 2, &[], &[(0, 1)]);
+        let users = Matrix::from_vec(1, 1, vec![1.0]);
+        let items = Matrix::from_vec(2, 1, vec![0.1, 5.0]);
+        let per_group = group_ndcg(&ds, &users, &items, ScoreKind::Dot, &[0, 1], 2, 1);
+        assert_eq!(per_group[0], 0.0);
+        assert!((per_group[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "group id out of range")]
+    fn rejects_bad_group_labels() {
+        let ds = Dataset::from_pairs("g", 1, 2, &[], &[(0, 1)]);
+        let users = Matrix::zeros(1, 1);
+        let items = Matrix::zeros(2, 1);
+        let _ = group_ndcg(&ds, &users, &items, ScoreKind::Dot, &[0, 5], 2, 1);
+    }
+}

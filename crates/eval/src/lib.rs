@@ -1,0 +1,19 @@
+//! Top-K ranking evaluation for the BSL reproduction.
+//!
+//! * [`metrics`] — per-user metric definitions (Recall@K, NDCG@K,
+//!   Precision@K, HitRate@K, MAP@K) on a ranked list vs. a relevance set;
+//! * [`ranking`] — full ranking of the item catalogue from embedding
+//!   matrices (dot-product or cosine scores) with train-item masking,
+//!   parallelized across users with scoped threads;
+//! * [`groups`] — the popularity-group decomposition of NDCG@K used by the
+//!   fairness analyses (Figs 4a and 5).
+
+#![deny(missing_docs)]
+
+pub mod groups;
+pub mod metrics;
+pub mod ranking;
+
+pub use groups::{group_ndcg, group_ndcg_restricted};
+pub use metrics::{MetricSet, UserMetrics};
+pub use ranking::{evaluate, rank_for_user, EvalReport, ScoreKind};

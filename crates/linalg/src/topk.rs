@@ -1,0 +1,158 @@
+//! Top-k selection for ranking evaluation.
+//!
+//! Full-ranking evaluation scores every item for a user and keeps the best
+//! `k`; with |I| in the tens of thousands and k = 20 a bounded min-heap is
+//! the right tool (O(|I| log k)).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// `f32` wrapper with a total order (NaN sorts below everything, including
+/// `-inf`), so scores can live in heaps and sorts without `partial_cmp`
+/// unwraps and a NaN score can never win a ranking slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF32(pub f32);
+
+impl Eq for OrdF32 {}
+
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn key(x: f32) -> (u8, f32) {
+            if x.is_nan() {
+                (0, 0.0)
+            } else {
+                (1, x)
+            }
+        }
+        let (ta, va) = key(self.0);
+        let (tb, vb) = key(other.0);
+        ta.cmp(&tb).then(va.total_cmp(&vb))
+    }
+}
+
+/// Returns the indices of the `k` largest entries of `scores`, ordered from
+/// best to worst. Ties break toward the smaller index (deterministic).
+///
+/// Entries whose index is flagged in `mask` (same length, `true` = exclude)
+/// are skipped — evaluation uses this to mask out training items.
+pub fn top_k_masked(scores: &[f32], k: usize, mask: impl Fn(usize) -> bool) -> Vec<u32> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the current best k: Reverse ordering via negation trick —
+    // BinaryHeap is a max-heap, so store (Reverse(score), Reverse(idx)).
+    let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF32>, std::cmp::Reverse<usize>)> =
+        BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        if mask(i) {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push((std::cmp::Reverse(OrdF32(s)), std::cmp::Reverse(i)));
+        } else if let Some(&(std::cmp::Reverse(worst), std::cmp::Reverse(wi))) = heap.peek() {
+            // Strictly better score, or equal score with smaller index.
+            let cand = OrdF32(s);
+            if cand > worst || (cand == worst && i < wi) {
+                heap.pop();
+                heap.push((std::cmp::Reverse(cand), std::cmp::Reverse(i)));
+            }
+        }
+    }
+    let mut out: Vec<(OrdF32, usize)> =
+        heap.into_iter().map(|(std::cmp::Reverse(s), std::cmp::Reverse(i))| (s, i)).collect();
+    // Best first; ties by ascending index.
+    out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    out.into_iter().map(|(_, i)| i as u32).collect()
+}
+
+/// Top-k without any mask.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<u32> {
+    top_k_masked(scores, k, |_| false)
+}
+
+/// Indices that would sort `scores` descending (stable for ties).
+pub fn argsort_desc(scores: &[f32]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        OrdF32(scores[b as usize]).cmp(&OrdF32(scores[a as usize])).then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn top_k_basic() {
+        let s = [0.1f32, 0.9, 0.5, 0.7];
+        assert_eq!(top_k(&s, 2), vec![1, 3]);
+        assert_eq!(top_k(&s, 4), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        assert!(top_k(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_larger_than_len() {
+        assert_eq!(top_k(&[3.0, 1.0], 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_mask_excludes() {
+        let s = [0.1f32, 0.9, 0.5, 0.7];
+        let got = top_k_masked(&s, 2, |i| i == 1);
+        assert_eq!(got, vec![3, 2]);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_index() {
+        let s = [0.5f32, 0.5, 0.5, 0.5];
+        assert_eq!(top_k(&s, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let s = [f32::NAN, 1.0, 2.0];
+        assert_eq!(top_k(&s, 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn argsort_matches_topk_full() {
+        let s = [0.3f32, -0.1, 0.9, 0.3];
+        assert_eq!(argsort_desc(&s), vec![2, 0, 3, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_topk_agrees_with_argsort(
+            s in proptest::collection::vec(-100.0f32..100.0, 1..64),
+            k in 1usize..16,
+        ) {
+            let k = k.min(s.len());
+            let full = argsort_desc(&s);
+            let top = top_k(&s, k);
+            prop_assert_eq!(&full[..k], &top[..]);
+        }
+
+        #[test]
+        fn prop_topk_scores_descending(
+            s in proptest::collection::vec(-10.0f32..10.0, 1..64),
+            k in 1usize..32,
+        ) {
+            let top = top_k(&s, k);
+            for w in top.windows(2) {
+                prop_assert!(s[w[0] as usize] >= s[w[1] as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration: every backbone × a representative loss trains
+//! end-to-end on a tiny dataset, learns signal, and stays numerically
+//! sane.
+
+use bsl_core::prelude::*;
+use bsl_core::SamplingConfig;
+use bsl_eval::ScoreKind;
+use bsl_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn tiny() -> Arc<Dataset> {
+    Arc::new(generate(&SynthConfig::tiny(1)))
+}
+
+fn chance_ndcg(ds: &Arc<Dataset>) -> f64 {
+    let mut rng = StdRng::seed_from_u64(12345);
+    let u = Matrix::xavier_uniform(ds.n_users, 16, &mut rng);
+    let i = Matrix::xavier_uniform(ds.n_items, 16, &mut rng);
+    evaluate(ds, &u, &i, ScoreKind::Cosine, &[20]).ndcg(20)
+}
+
+fn train(ds: &Arc<Dataset>, backbone: BackboneConfig, loss: LossConfig) -> f64 {
+    let cfg = TrainConfig {
+        backbone,
+        loss,
+        epochs: 10,
+        negatives: 8,
+        lr: 0.03,
+        ..TrainConfig::smoke()
+    };
+    let out = Trainer::new(cfg).fit(ds);
+    assert!(out.user_emb.as_slice().iter().all(|v| v.is_finite()), "non-finite embeddings");
+    assert!(out.history.iter().all(|s| s.loss.is_finite()), "non-finite loss");
+    out.best.ndcg(20)
+}
+
+#[test]
+fn every_backbone_learns_with_sl() {
+    let ds = tiny();
+    let chance = chance_ndcg(&ds);
+    for backbone in [
+        BackboneConfig::Mf,
+        BackboneConfig::LightGcn { layers: 2 },
+        BackboneConfig::Ngcf { layers: 2 },
+        BackboneConfig::LrGccf { layers: 2 },
+        BackboneConfig::Sgl { layers: 2, dropout: 0.1, ssl_reg: 0.05, ssl_tau: 0.2 },
+        BackboneConfig::SimGcl { layers: 2, eps: 0.1, ssl_reg: 0.05, ssl_tau: 0.2 },
+        BackboneConfig::LightGcl { layers: 2, rank: 8, ssl_reg: 0.05, ssl_tau: 0.2 },
+    ] {
+        let ndcg = train(&ds, backbone, LossConfig::Sl { tau: 0.15 });
+        assert!(
+            ndcg > chance * 1.5,
+            "{backbone:?} failed to learn: ndcg {ndcg:.4} vs chance {chance:.4}"
+        );
+    }
+}
+
+#[test]
+fn every_loss_learns_on_mf() {
+    let ds = tiny();
+    let chance = chance_ndcg(&ds);
+    for loss in [
+        LossConfig::Bpr,
+        LossConfig::Bce { neg_weight: 1.0 },
+        LossConfig::Mse { neg_weight: 1.0 },
+        LossConfig::Sl { tau: 0.15 },
+        LossConfig::Bsl { tau1: 0.5, tau2: 0.15 },
+        LossConfig::Ccl { margin: 0.4, neg_weight: 2.0 },
+        LossConfig::TaylorSl { tau: 0.15, with_variance: true },
+    ] {
+        let ndcg = train(&ds, BackboneConfig::Mf, loss);
+        assert!(
+            ndcg > chance * 1.5,
+            "{loss:?} failed to learn: ndcg {ndcg:.4} vs chance {chance:.4}"
+        );
+    }
+}
+
+#[test]
+fn cml_hinge_learns() {
+    let ds = tiny();
+    let chance = chance_ndcg(&ds);
+    let ndcg = train(&ds, BackboneConfig::Cml, LossConfig::Hinge { margin: 0.5 });
+    assert!(ndcg > chance * 1.5, "CML failed: {ndcg:.4} vs chance {chance:.4}");
+}
+
+#[test]
+fn standalone_baselines_learn() {
+    use bsl_core::trainer::evaluate_embeddings;
+    use bsl_models::enmf::{train_enmf, EnmfConfig};
+    use bsl_models::ultragcn::{train_ultragcn, UltraGcnConfig};
+    use bsl_models::EvalScore;
+    let ds = tiny();
+    let chance = chance_ndcg(&ds);
+
+    let (ue, ie) = train_enmf(&ds, &EnmfConfig { dim: 16, epochs: 50, ..EnmfConfig::default() });
+    let enmf = evaluate_embeddings(&ds, &ue, &ie, EvalScore::Dot, &[20]).ndcg(20);
+    assert!(enmf > chance * 1.5, "ENMF failed: {enmf:.4} vs chance {chance:.4}");
+
+    let (uu, ui) = train_ultragcn(
+        &ds,
+        &UltraGcnConfig {
+            dim: 16,
+            epochs: 60,
+            negatives: 16,
+            lr: 1e-2,
+            ..UltraGcnConfig::default()
+        },
+    );
+    let ug = evaluate_embeddings(&ds, &uu, &ui, EvalScore::Dot, &[20]).ndcg(20);
+    assert!(ug > chance * 1.5, "UltraGCN failed: {ug:.4} vs chance {chance:.4}");
+}
+
+#[test]
+fn in_batch_protocol_on_gcn_backbone() {
+    // Table V: LightGCN trains with in-batch negatives.
+    let ds = tiny();
+    let cfg = TrainConfig {
+        backbone: BackboneConfig::LightGcn { layers: 2 },
+        loss: LossConfig::Sl { tau: 0.2 },
+        sampling: SamplingConfig::InBatch,
+        batch_size: 64,
+        epochs: 8,
+        lr: 0.03,
+        ..TrainConfig::smoke()
+    };
+    let out = Trainer::new(cfg).fit(&ds);
+    assert!(out.best.ndcg(20) > chance_ndcg(&ds) * 1.5);
+}
+
+#[test]
+fn noisy_positive_pipeline_roundtrip() {
+    use bsl_data::noise::inject_false_positives;
+    let ds = tiny();
+    let noisy = Arc::new(inject_false_positives(&ds, 0.3, 5).dataset);
+    // Test split unchanged, train enlarged.
+    assert_eq!(noisy.test.nnz(), ds.test.nnz());
+    assert!(noisy.train.nnz() > ds.train.nnz());
+    // Training on the noisy set still works.
+    let cfg = TrainConfig { epochs: 5, ..TrainConfig::smoke() };
+    let out = Trainer::new(cfg).fit(&noisy);
+    assert!(out.best.ndcg(20).is_finite());
+}

@@ -1,0 +1,167 @@
+//! The paper's *shape* claims, asserted at test scale. Each test is a
+//! miniature of one evaluation-section result; absolute numbers are
+//! substrate-specific, the orderings are what the paper predicts.
+
+use bsl_core::prelude::*;
+use bsl_core::SamplingConfig;
+use bsl_data::noise::inject_false_positives;
+use std::sync::Arc;
+
+/// A paper-shaped (sparse, popularity-skewed) dataset small enough for
+/// tests. The `tiny` config is too dense/small for the sampling-noise
+/// semantics the claims depend on (50 items make any `r_noise` extreme).
+fn ds() -> Arc<Dataset> {
+    let cfg = SynthConfig {
+        name: "claims".into(),
+        n_users: 150,
+        n_items: 300,
+        mean_activity: 14.0,
+        activity_sigma: 0.5,
+        latent_dim: 8,
+        n_clusters: 6,
+        zipf_exponent: 0.9,
+        popularity_bias: 0.8,
+        preference_temp: 0.35,
+        intrinsic_pos_noise: 0.05,
+        test_fraction: 0.25,
+        seed: 3,
+    };
+    Arc::new(generate(&cfg))
+}
+
+fn fit(ds: &Arc<Dataset>, cfg: TrainConfig) -> f64 {
+    Trainer::new(cfg).fit(ds).best.ndcg(20)
+}
+
+fn base() -> TrainConfig {
+    TrainConfig { epochs: 40, negatives: 128, lr: 0.02, ..TrainConfig::smoke() }
+}
+
+/// SL with a lightly tuned temperature (the paper grid-searches τ). The
+/// synthetic substrate's wider score spread moves the optimum above the
+/// paper's ~0.1 (Corollary III.1: τ* scales with the score variance).
+fn fit_sl_tuned(ds: &Arc<Dataset>, base: TrainConfig) -> f64 {
+    [0.25f32, 0.35, 0.5]
+        .iter()
+        .map(|&tau| fit(ds, TrainConfig { loss: LossConfig::Sl { tau }, ..base }))
+        .fold(f64::MIN, f64::max)
+}
+
+/// Fig 1 / Table II: SL beats the classic losses on the same backbone.
+/// (The paper reports >15% gains on 40k-item catalogues; on the small
+/// synthetic substrate the ordering survives with compressed margins.)
+#[test]
+fn claim_sl_beats_classic_losses() {
+    let ds = ds();
+    let sl = fit_sl_tuned(&ds, base());
+    for loss in
+        [LossConfig::Bpr, LossConfig::Bce { neg_weight: 1.0 }, LossConfig::Mse { neg_weight: 1.0 }]
+    {
+        let other = fit(&ds, TrainConfig { loss, ..base() });
+        assert!(sl > other, "SL {sl:.4} should beat {loss:?} {other:.4}");
+    }
+}
+
+/// Table IV: under heavy positive noise, BSL outperforms SL.
+#[test]
+fn claim_bsl_beats_sl_under_positive_noise() {
+    let clean = ds();
+    let noisy = Arc::new(inject_false_positives(&clean, 0.4, 17).dataset);
+    let sl = fit(&noisy, TrainConfig { loss: LossConfig::Sl { tau: 0.15 }, ..base() });
+    // Modest grid for BSL as the paper does (its advantage needs τ1/τ2>1
+    // tuned to the noise level).
+    let mut bsl = f64::MIN;
+    for tau1 in [0.3f32, 0.5, 0.8] {
+        bsl = bsl.max(fit(
+            &noisy,
+            TrainConfig { loss: LossConfig::Bsl { tau1, tau2: 0.15 }, ..base() },
+        ));
+    }
+    assert!(bsl > sl, "BSL {bsl:.4} should beat SL {sl:.4} at 40% positive noise");
+}
+
+/// Fig 6: positive noise hurts SL monotonically (clean ≥ 40% noise).
+#[test]
+fn claim_positive_noise_hurts_sl() {
+    let clean = ds();
+    let sl_clean = fit(&clean, TrainConfig { loss: LossConfig::Sl { tau: 0.15 }, ..base() });
+    let noisy = Arc::new(inject_false_positives(&clean, 0.4, 23).dataset);
+    let sl_noisy = fit(&noisy, TrainConfig { loss: LossConfig::Sl { tau: 0.15 }, ..base() });
+    assert!(
+        sl_clean > sl_noisy,
+        "noise should hurt: clean {sl_clean:.4} vs 40% noise {sl_noisy:.4}"
+    );
+}
+
+/// Fig 8: under heavy false-negative sampling, SL (τ tuned per condition,
+/// as the paper prescribes — the optimal τ grows with noise) stays ahead
+/// of BPR and MSE. BCE is excluded from this claim: the paper itself
+/// observes BCE/MSE can "unexpectedly boost" under negative noise (§V-C),
+/// and our substrate reproduces exactly that anomaly for BCE.
+#[test]
+fn claim_sl_under_false_negatives_beats_bpr_and_mse() {
+    let ds = ds();
+    let noisy_sampling = SamplingConfig::Noisy { r_noise: 5.0 };
+    let sl_noisy = fit_sl_tuned(&ds, TrainConfig { sampling: noisy_sampling, ..base() });
+    for loss in [LossConfig::Bpr, LossConfig::Mse { neg_weight: 1.0 }] {
+        let other = fit(&ds, TrainConfig { loss, sampling: noisy_sampling, ..base() });
+        assert!(
+            sl_noisy > other,
+            "under r_noise=5, SL {sl_noisy:.4} should beat {loss:?} {other:.4}"
+        );
+    }
+}
+
+/// Lemma 1 instantiated on real model scores: optimizing SL's negative
+/// part equals the KL-constrained worst case.
+#[test]
+fn claim_lemma1_duality_on_model_scores() {
+    use bsl_linalg::kernels::{dot, normalize_into};
+    let ds = ds();
+    let out = Trainer::new(base()).fit(&ds);
+    // Cosine scores of user 0 against 30 items.
+    let d = out.user_emb.cols();
+    let mut uhat = vec![0.0f32; d];
+    let mut ihat = vec![0.0f32; d];
+    normalize_into(out.user_emb.row(0), &mut uhat);
+    let scores: Vec<f32> = (0..30)
+        .map(|i| {
+            normalize_into(out.item_emb.row(i), &mut ihat);
+            dot(&uhat, &ihat)
+        })
+        .collect();
+    for eta in [0.05f64, 0.3, 1.0] {
+        let gap = bsl_dro::duality_gap(&scores, eta);
+        assert!(gap < 1e-5, "duality gap {gap} at eta {eta}");
+    }
+}
+
+/// Remark 3: the worst-case distribution concentrates on hard negatives,
+/// and more so at smaller τ.
+#[test]
+fn claim_worst_case_weights_concentrate() {
+    let scores = [0.1f32, 0.5, -0.3, 0.2, 0.45];
+    let sharp = bsl_dro::worst_case_weights(&scores, 0.05);
+    let soft = bsl_dro::worst_case_weights(&scores, 0.5);
+    // Index 1 holds the max score.
+    assert!(sharp[1] > soft[1]);
+    assert!(sharp[1] > 0.5, "at τ=0.05 the hardest negative should dominate");
+}
+
+/// BSL with τ1 → ∞ trains identically to SL (the "one line" equivalence),
+/// end to end through the full trainer.
+#[test]
+fn claim_bsl_degenerates_to_sl() {
+    let ds = ds();
+    let sl = Trainer::new(TrainConfig { loss: LossConfig::Sl { tau: 0.15 }, epochs: 4, ..base() })
+        .fit(&ds);
+    let bsl = Trainer::new(TrainConfig {
+        loss: LossConfig::Bsl { tau1: 1e6, tau2: 0.15 },
+        epochs: 4,
+        ..base()
+    })
+    .fit(&ds);
+    for (a, b) in sl.user_emb.as_slice().iter().zip(bsl.user_emb.as_slice()) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+}
