@@ -16,9 +16,7 @@ fn bench_propagation(c: &mut Criterion) {
     let u = Matrix::gaussian(ds.n_users, 64, 0.1, &mut rng);
     let i = Matrix::gaussian(ds.n_items, 64, 0.1, &mut rng);
 
-    c.bench_function("spmm_yelp_d64", |bench| {
-        bench.iter(|| adj.user_item.spmm(black_box(&i)))
-    });
+    c.bench_function("spmm_yelp_d64", |bench| bench.iter(|| adj.user_item.spmm(black_box(&i))));
     let prop = Propagator::new(adj.clone(), 3);
     c.bench_function("lightgcn_forward_3layer_d64", |bench| {
         bench.iter(|| prop.forward(black_box(&u), black_box(&i)))

@@ -14,7 +14,9 @@ const EXPERIMENTS: &[&str] = &[
 fn usage() -> ! {
     eprintln!("usage: repro <experiment|all> [--scale quick|full]");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
-    eprintln!("(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)");
+    eprintln!(
+        "(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)"
+    );
     std::process::exit(2);
 }
 

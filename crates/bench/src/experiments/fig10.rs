@@ -56,13 +56,7 @@ pub fn run_exp(scale: Scale) {
                 if let Ok(mut f) = std::fs::File::create(&path) {
                     let _ = writeln!(f, "x,y,cluster");
                     for r in 0..n {
-                        let _ = writeln!(
-                            f,
-                            "{},{},{}",
-                            map.get(r, 0),
-                            map.get(r, 1),
-                            clusters[r]
-                        );
+                        let _ = writeln!(f, "{},{},{}", map.get(r, 0), map.get(r, 1), clusters[r]);
                     }
                 }
                 row(&[

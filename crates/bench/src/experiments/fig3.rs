@@ -3,7 +3,7 @@
 //! (a) NDCG@20 of MF+SL across temperatures τ for several negative-noise
 //!     rates `r_noise` — the optimum should be interior and the best τ
 //!     should *grow* with the noise rate.
-//! (b) The implied robustness radius η = V[f]/(2τ*²) (Corollary III.1) at
+//! (b) The implied robustness radius η = V\[f\]/(2τ*²) (Corollary III.1) at
 //!     the best τ per noise rate — η should grow with the noise rate.
 
 use super::common::{base_cfg, dataset, header, row, run, Scale};
@@ -86,12 +86,7 @@ pub fn run_exp(scale: Scale) {
     for (r, tau, out) in &best_per_noise {
         let var = negative_score_variance(out, 20_000, 11);
         let eta = var / (2.0 * (*tau as f64) * (*tau as f64));
-        row(&[
-            format!("{r:.1}"),
-            format!("{tau}"),
-            format!("{var:.4}"),
-            format!("{eta:.4}"),
-        ]);
+        row(&[format!("{r:.1}"), format!("{tau}"), format!("{var:.4}"), format!("{eta:.4}")]);
     }
     println!("\nShape check: interior optimum in each Fig-3a row; best τ and η grow with r_noise.");
 }

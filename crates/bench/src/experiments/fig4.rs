@@ -98,5 +98,7 @@ pub fn run_exp(scale: Scale) {
         }
         row(&cells);
     }
-    println!("\nShape check: weights increase with score; smaller τ ⇒ steeper (more extreme) curve.");
+    println!(
+        "\nShape check: weights increase with score; smaller τ ⇒ steeper (more extreme) curve."
+    );
 }

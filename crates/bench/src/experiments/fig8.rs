@@ -2,7 +2,9 @@
 //! `r_noise ∈ {1, 3, 5, 7, 10}` for the five losses on MF. SL and BSL
 //! should degrade most gracefully.
 
-use super::common::{base_cfg, classic_losses, dataset, header, row, run, tune_bsl, tune_sl, Scale};
+use super::common::{
+    base_cfg, classic_losses, dataset, header, row, run, tune_bsl, tune_sl, Scale,
+};
 use bsl_core::{SamplingConfig, TrainConfig};
 
 fn probs(scale: Scale) -> Vec<f64> {

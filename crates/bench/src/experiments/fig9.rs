@@ -2,7 +2,9 @@
 //! losses on MF. More negatives ⇒ more accidental false negatives; SL/BSL
 //! should remain stable while the pointwise losses wobble or decline.
 
-use super::common::{base_cfg, classic_losses, dataset, header, row, run, tune_bsl, tune_sl, Scale};
+use super::common::{
+    base_cfg, classic_losses, dataset, header, row, run, tune_bsl, tune_sl, Scale,
+};
 use bsl_core::TrainConfig;
 
 fn counts(scale: Scale) -> Vec<usize> {

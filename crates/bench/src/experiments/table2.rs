@@ -48,10 +48,7 @@ fn baselines(ds: &Arc<Dataset>, scale: Scale) -> Vec<(String, String)> {
     // SimpleX — MF + cosine contrastive loss.
     let simplex = run(
         ds,
-        TrainConfig {
-            loss: LossConfig::Ccl { margin: 0.4, neg_weight: 2.0 },
-            ..base_cfg(scale)
-        },
+        TrainConfig { loss: LossConfig::Ccl { margin: 0.4, neg_weight: 2.0 }, ..base_cfg(scale) },
     );
     rows.push(("SimpleX".into(), metric_pair(simplex.best.recall(20), simplex.best.ndcg(20))));
     // UltraGCN-lite.
@@ -78,8 +75,7 @@ fn baselines(ds: &Arc<Dataset>, scale: Scale) -> Vec<(String, String)> {
     rows.push(("LR-GCCF".into(), metric_pair(lr_gccf.best.recall(20), lr_gccf.best.ndcg(20))));
     // SGL / SimGCL / LightGCL with their native BPR main loss.
     for (label, backbone) in contrastive_backbones() {
-        let out =
-            run(ds, TrainConfig { backbone, loss: LossConfig::Bpr, ..base_cfg(scale) });
+        let out = run(ds, TrainConfig { backbone, loss: LossConfig::Bpr, ..base_cfg(scale) });
         rows.push((label.into(), metric_pair(out.best.recall(20), out.best.ndcg(20))));
     }
     for missing in ["NIA-GCN", "DGCF", "NCL"] {
@@ -101,12 +97,7 @@ pub fn contrastive_backbones() -> Vec<(&'static str, BackboneConfig)> {
         ),
         (
             "LightGCL",
-            BackboneConfig::LightGcl {
-                layers: GCN_LAYERS,
-                rank: 8,
-                ssl_reg: 0.1,
-                ssl_tau: 0.2,
-            },
+            BackboneConfig::LightGcl { layers: GCN_LAYERS, rank: 8, ssl_reg: 0.1, ssl_tau: 0.2 },
         ),
     ]
 }

@@ -121,7 +121,8 @@ mod tests {
 
     #[test]
     fn labels_compose() {
-        let cfg = TrainConfig { loss: LossConfig::Bsl { tau1: 0.2, tau2: 0.1 }, ..TrainConfig::smoke() };
+        let cfg =
+            TrainConfig { loss: LossConfig::Bsl { tau1: 0.2, tau2: 0.1 }, ..TrainConfig::smoke() };
         assert_eq!(cfg.label(), "MF+BSL");
         let cfg = TrainConfig {
             backbone: BackboneConfig::LightGcn { layers: 3 },

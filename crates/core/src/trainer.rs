@@ -8,7 +8,9 @@ use bsl_linalg::Matrix;
 use bsl_losses::{build as build_loss, RankingLoss, ScoreBatch};
 use bsl_models::cml::euclidean_rank_embeddings;
 use bsl_models::{build as build_backbone, Backbone, EvalScore, GradBuffer, Hyper, TrainScore};
-use bsl_sampling::{BatchIter, NegativeSampler, NoisySampler, PopularitySampler, TrainBatch, UniformSampler};
+use bsl_sampling::{
+    BatchIter, NegativeSampler, NoisySampler, PopularitySampler, TrainBatch, UniformSampler,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -160,11 +162,7 @@ impl Trainer {
                 n_batches += 1;
             }
             let denom = n_batches.max(1) as f64;
-            history.push(EpochStats {
-                epoch,
-                loss: loss_sum / denom,
-                aux_loss: aux_sum / denom,
-            });
+            history.push(EpochStats { epoch, loss: loss_sum / denom, aux_loss: aux_sum / denom });
 
             if (epoch + 1) % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
                 backbone.forward(&mut rng);
@@ -274,8 +272,22 @@ impl Trainer {
                     let ihat = scratch.pos_hat.row(row).to_vec();
                     let g = out.grad_pos[row];
                     let s = scratch.pos_scores[row];
-                    cosine_backward_into(g, s, &uhat, &ihat, scratch.user_norm[row], grads.user_row_mut(u));
-                    cosine_backward_into(g, s, &ihat, &uhat, scratch.pos_norm[row], grads.item_row_mut(i));
+                    cosine_backward_into(
+                        g,
+                        s,
+                        &uhat,
+                        &ihat,
+                        scratch.user_norm[row],
+                        grads.user_row_mut(u),
+                    );
+                    cosine_backward_into(
+                        g,
+                        s,
+                        &ihat,
+                        &uhat,
+                        scratch.pos_norm[row],
+                        grads.item_row_mut(i),
+                    );
                     for (jj, &j) in batch.negs_of(row).iter().enumerate() {
                         let g = out.grad_neg[row * m + jj];
                         if g == 0.0 {
@@ -283,14 +295,25 @@ impl Trainer {
                         }
                         let s = scratch.neg_scores[row * m + jj];
                         let jn = normalize_into(backbone.item_factors().row(j as usize), &mut jhat);
-                        cosine_backward_into(g, s, &uhat, &jhat, scratch.user_norm[row], grads.user_row_mut(u));
+                        cosine_backward_into(
+                            g,
+                            s,
+                            &uhat,
+                            &jhat,
+                            scratch.user_norm[row],
+                            grads.user_row_mut(u),
+                        );
                         cosine_backward_into(g, s, &jhat, &uhat, jn, grads.item_row_mut(j));
                     }
                 }
                 TrainScore::NegSqDist => {
                     // s = −||u−i||² ⇒ ∂s/∂u = 2(i−u), ∂s/∂i = 2(u−i).
                     let urow = backbone.user_factors().row(u as usize).to_vec();
-                    let apply = |g: f32, item: u32, grads: &mut GradBuffer, backbone: &dyn Backbone, urow: &[f32]| {
+                    let apply = |g: f32,
+                                 item: u32,
+                                 grads: &mut GradBuffer,
+                                 backbone: &dyn Backbone,
+                                 urow: &[f32]| {
                         if g == 0.0 {
                             return;
                         }
@@ -391,8 +414,22 @@ impl Trainer {
                     continue;
                 }
                 let ic = item_hat.row(c).to_vec();
-                cosine_backward_into(g, s, &ua, &ic, user_norm[a], grads.user_row_mut(batch.users[a]));
-                cosine_backward_into(g, s, &ic, &ua, item_norm[c], grads.item_row_mut(batch.pos[c]));
+                cosine_backward_into(
+                    g,
+                    s,
+                    &ua,
+                    &ic,
+                    user_norm[a],
+                    grads.user_row_mut(batch.users[a]),
+                );
+                cosine_backward_into(
+                    g,
+                    s,
+                    &ic,
+                    &ua,
+                    item_norm[c],
+                    grads.item_row_mut(batch.pos[c]),
+                );
             }
         }
 

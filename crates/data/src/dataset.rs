@@ -67,8 +67,7 @@ impl Dataset {
         test_pairs: &[(u32, u32)],
     ) -> Self {
         let to_csr = |pairs: &[(u32, u32)]| {
-            let trips: Vec<(u32, u32, f32)> =
-                pairs.iter().map(|&(u, i)| (u, i, 1.0)).collect();
+            let trips: Vec<(u32, u32, f32)> = pairs.iter().map(|&(u, i)| (u, i, 1.0)).collect();
             let mut m = Csr::from_coo(n_users, n_items, &trips);
             for r in 0..n_users {
                 for v in m.row_values_mut(r) {
@@ -156,13 +155,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::from_pairs(
-            "toy",
-            3,
-            4,
-            &[(0, 0), (0, 1), (1, 1), (2, 3)],
-            &[(0, 2), (1, 0)],
-        )
+        Dataset::from_pairs("toy", 3, 4, &[(0, 0), (0, 1), (1, 1), (2, 3)], &[(0, 2), (1, 0)])
     }
 
     #[test]
@@ -211,9 +204,7 @@ mod tests {
     #[test]
     fn popularity_group_means_monotone() {
         // 10 items with popularity = index.
-        let pairs: Vec<(u32, u32)> = (0..10u32)
-            .flat_map(|i| (0..i).map(move |u| (u, i)))
-            .collect();
+        let pairs: Vec<(u32, u32)> = (0..10u32).flat_map(|i| (0..i).map(move |u| (u, i))).collect();
         let d = Dataset::from_pairs("mono", 10, 10, &pairs, &[]);
         let g = d.popularity_groups(5);
         let pop = d.popularity();

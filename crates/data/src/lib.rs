@@ -18,4 +18,4 @@ pub mod synth;
 
 pub use dataset::{Dataset, DatasetStats};
 pub use loader::{load_lightgcn_format, LoadError};
-pub use synth::{SynthConfig, generate};
+pub use synth::{generate, SynthConfig};

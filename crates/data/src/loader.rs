@@ -103,18 +103,8 @@ pub fn load_lightgcn_format(
     if train.is_empty() {
         return Err(LoadError::Inconsistent("empty training split".into()));
     }
-    let n_users = train
-        .iter()
-        .chain(test.iter())
-        .map(|&(u, _)| u as usize + 1)
-        .max()
-        .unwrap_or(0);
-    let n_items = train
-        .iter()
-        .chain(test.iter())
-        .map(|&(_, i)| i as usize + 1)
-        .max()
-        .unwrap_or(0);
+    let n_users = train.iter().chain(test.iter()).map(|&(u, _)| u as usize + 1).max().unwrap_or(0);
+    let n_items = train.iter().chain(test.iter()).map(|&(_, i)| i as usize + 1).max().unwrap_or(0);
     let ds = Dataset::from_pairs(name, n_users, n_items, &train, &test);
     for u in 0..n_users {
         for &i in ds.test_items(u) {
@@ -194,9 +184,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err =
-            load_lightgcn_format("nope", "/definitely/not/here.txt", "/also/missing.txt")
-                .unwrap_err();
+        let err = load_lightgcn_format("nope", "/definitely/not/here.txt", "/also/missing.txt")
+            .unwrap_err();
         assert!(matches!(err, LoadError::Io(_)));
     }
 

@@ -39,10 +39,7 @@ pub fn inject_false_positives(ds: &Dataset, ratio: f64, seed: u64) -> NoisyDatas
         let mut guard = 0usize;
         while added < n_add && guard < 100 * n_add.max(1) {
             let cand = rng.gen_range(0..ds.n_items as u32);
-            if !ds.train.contains(u, cand)
-                && !ds.test.contains(u, cand)
-                && chosen.insert(cand)
-            {
+            if !ds.train.contains(u, cand) && !ds.test.contains(u, cand) && chosen.insert(cand) {
                 train_pairs.push((u as u32, cand));
                 injected.push((u as u32, cand));
                 added += 1;

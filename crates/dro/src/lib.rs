@@ -22,6 +22,6 @@ pub mod weights;
 
 pub use duality::{dual_value, duality_gap, primal_value, solve_primal};
 pub use weights::{
-    implied_radius, kl_divergence, optimal_tau, taylor_remainder, taylor_value,
-    worst_case_weights, worst_case_weights_base,
+    implied_radius, kl_divergence, optimal_tau, taylor_remainder, taylor_value, worst_case_weights,
+    worst_case_weights_base,
 };

@@ -81,8 +81,7 @@ pub fn davies_bouldin(data: &Matrix, labels: &[u16]) -> f64 {
     // Mean intra-cluster distance to centroid.
     let mut scatter = vec![0.0f64; k];
     for (i, &l) in labels.iter().enumerate() {
-        scatter[l as usize] +=
-            (sq_dist(data.row(i), centroids.row(l as usize)) as f64).sqrt();
+        scatter[l as usize] += (sq_dist(data.row(i), centroids.row(l as usize)) as f64).sqrt();
     }
     for &c in &live {
         scatter[c] /= counts[c] as f64;

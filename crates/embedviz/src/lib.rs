@@ -4,7 +4,7 @@
 //! group-separated under positive noise while SL degrades toward a uniform
 //! blob. This crate reproduces that analysis twice over:
 //!
-//! * [`tsne`] — an exact (O(n²)) t-SNE so the 2-D maps can be regenerated
+//! * [`mod@tsne`] — an exact (O(n²)) t-SNE so the 2-D maps can be regenerated
 //!   and exported as CSV;
 //! * [`cluster`] — *quantitative* separation scores (mean silhouette,
 //!   Davies–Bouldin) over the generator's ground-truth item clusters, which

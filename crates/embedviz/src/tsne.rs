@@ -218,8 +218,8 @@ mod tests {
         let map = tsne(&data, &TsneConfig { perplexity: 8.0, iters: 100, ..Default::default() });
         assert!(map.as_slice().iter().all(|v| v.is_finite()));
         for c in 0..2 {
-            let mean: f64 = (0..map.rows()).map(|r| map.get(r, c) as f64).sum::<f64>()
-                / map.rows() as f64;
+            let mean: f64 =
+                (0..map.rows()).map(|r| map.get(r, c) as f64).sum::<f64>() / map.rows() as f64;
             assert!(mean.abs() < 1e-3);
         }
     }

@@ -145,11 +145,8 @@ pub fn group_ndcg_restricted(
         let ranked = top_k_masked(&scores, k, |i| train.binary_search(&(i as u32)).is_ok());
         let relevant = ds.test_items(u as usize);
         for g in 0..n_groups {
-            let rel_g: Vec<u32> = relevant
-                .iter()
-                .copied()
-                .filter(|&i| groups[i as usize] as usize == g)
-                .collect();
+            let rel_g: Vec<u32> =
+                relevant.iter().copied().filter(|&i| groups[i as usize] as usize == g).collect();
             if rel_g.is_empty() {
                 continue;
             }

@@ -188,7 +188,13 @@ mod tests {
     #[test]
     fn metric_set_accumulate_finalize() {
         let mut acc = MetricSet::default();
-        acc.accumulate(&UserMetrics { recall: 1.0, ndcg: 0.5, precision: 0.2, hit_rate: 1.0, map: 0.4 });
+        acc.accumulate(&UserMetrics {
+            recall: 1.0,
+            ndcg: 0.5,
+            precision: 0.2,
+            hit_rate: 1.0,
+            map: 0.4,
+        });
         acc.accumulate(&UserMetrics::default());
         acc.finalize();
         assert_eq!(acc.n_users, 2);

@@ -33,9 +33,11 @@ impl EvalReport {
     /// # Panics
     /// Panics if `k` was not evaluated.
     pub fn at_k(&self, k: usize) -> &MetricSet {
-        let idx = self.ks.iter().position(|&x| x == k).unwrap_or_else(|| {
-            panic!("cutoff {k} was not evaluated (have {:?})", self.ks)
-        });
+        let idx = self
+            .ks
+            .iter()
+            .position(|&x| x == k)
+            .unwrap_or_else(|| panic!("cutoff {k} was not evaluated (have {:?})", self.ks));
         &self.at[idx]
     }
 
@@ -146,10 +148,10 @@ pub fn evaluate(
     let chunk = users.len().div_ceil(n_threads.max(1)).max(1);
 
     let mut partials: Vec<Vec<MetricSet>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for block in users.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut acc = vec![MetricSet::default(); ks.len()];
                 let mut scores: Vec<f32> = Vec::new();
                 for &u in block {
@@ -169,8 +171,7 @@ pub fn evaluate(
         for h in handles {
             partials.push(h.join().expect("evaluation worker panicked"));
         }
-    })
-    .expect("evaluation scope panicked");
+    });
 
     let mut at = vec![MetricSet::default(); ks.len()];
     for part in &partials {
@@ -195,13 +196,7 @@ mod tests {
     /// items: the oracle ranking must achieve perfect recall.
     #[test]
     fn oracle_embeddings_score_perfectly() {
-        let ds = Dataset::from_pairs(
-            "oracle",
-            2,
-            4,
-            &[(0, 0), (1, 1)],
-            &[(0, 2), (1, 3)],
-        );
+        let ds = Dataset::from_pairs("oracle", 2, 4, &[(0, 0), (1, 1)], &[(0, 2), (1, 3)]);
         // dim = n_items; user u's vector = indicator of its test item.
         let mut users = Matrix::zeros(2, 4);
         users.set(0, 2, 1.0);

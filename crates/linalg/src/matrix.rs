@@ -296,8 +296,7 @@ mod tests {
         let m = Matrix::gaussian(200, 200, 2.0, &mut rng);
         let n = m.as_slice().len() as f64;
         let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var: f64 =
-            m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

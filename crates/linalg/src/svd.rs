@@ -151,7 +151,13 @@ fn jacobi_eigh(a: &mut Matrix) -> (Vec<f64>, Matrix) {
 /// `n_iter` subspace (power) iterations sharpen the spectrum; 4 is plenty
 /// for adjacency matrices. `oversample` extra probe vectors (default-ish 8)
 /// protect the tail. The caller's RNG makes the factorization reproducible.
-pub fn randomized_svd(op: &dyn LinOp, k: usize, n_iter: usize, oversample: usize, rng: &mut impl Rng) -> Svd {
+pub fn randomized_svd(
+    op: &dyn LinOp,
+    k: usize,
+    n_iter: usize,
+    oversample: usize,
+    rng: &mut impl Rng,
+) -> Svd {
     let l = (k + oversample).min(op.cols()).min(op.rows());
     assert!(l > 0, "rank target must be positive");
     // Gaussian probe block Ω: cols × l.
@@ -165,7 +171,7 @@ pub fn randomized_svd(op: &dyn LinOp, k: usize, n_iter: usize, oversample: usize
         orthonormalize_columns(&mut y);
     }
     let q = y; // rows × l, orthonormal columns
-    // B = Qᵀ A, materialized as Bᵀ = Aᵀ Q: cols × l.
+               // B = Qᵀ A, materialized as Bᵀ = Aᵀ Q: cols × l.
     let bt = op.apply_t(&q);
     // Gram matrix G = B Bᵀ = (Bᵀ)ᵀ (Bᵀ) … l × l symmetric.
     let mut g = bt.matmul_tn(&bt);
@@ -214,9 +220,7 @@ impl Svd {
             for c in 0..cols {
                 let mut acc = 0.0f64;
                 for j in 0..k {
-                    acc += self.u.get(r, j) as f64
-                        * self.s[j] as f64
-                        * self.v.get(c, j) as f64;
+                    acc += self.u.get(r, j) as f64 * self.s[j] as f64 * self.v.get(c, j) as f64;
                 }
                 out.set(r, c, acc as f32);
             }
@@ -289,13 +293,7 @@ mod tests {
     #[test]
     fn svd_matches_dominant_singular_value_of_diagonal() {
         // diag(5, 2, 1) has known singular values.
-        let a = Matrix::from_fn(3, 3, |r, c| {
-            if r == c {
-                [5.0, 2.0, 1.0][r]
-            } else {
-                0.0
-            }
-        });
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { [5.0, 2.0, 1.0][r] } else { 0.0 });
         let mut rng = StdRng::seed_from_u64(11);
         let svd = randomized_svd(&DenseOp(&a), 3, 6, 3, &mut rng);
         assert!((svd.s[0] - 5.0).abs() < 1e-3, "{:?}", svd.s);

@@ -157,9 +157,7 @@ pub fn build(cfg: LossConfig) -> Box<dyn RankingLoss> {
         LossConfig::Bsl { tau1, tau2 } => Box::new(Bsl::new(tau1, tau2)),
         LossConfig::Ccl { margin, neg_weight } => Box::new(Ccl::new(margin, neg_weight)),
         LossConfig::Hinge { margin } => Box::new(Hinge::new(margin)),
-        LossConfig::TaylorSl { tau, with_variance } => {
-            Box::new(TaylorSl::new(tau, with_variance))
-        }
+        LossConfig::TaylorSl { tau, with_variance } => Box::new(TaylorSl::new(tau, with_variance)),
     }
 }
 

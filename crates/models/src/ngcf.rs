@@ -140,8 +140,10 @@ impl Ngcf {
         assert!(layers > 0, "need at least one layer");
         let mut rng = StdRng::seed_from_u64(seed);
         let adj = NormAdj::from_interactions(ds.n_users, ds.n_items, &ds.train_pairs());
-        let w1: Vec<Matrix> = (0..layers).map(|_| Matrix::xavier_uniform(dim, dim, &mut rng)).collect();
-        let w2: Vec<Matrix> = (0..layers).map(|_| Matrix::xavier_uniform(dim, dim, &mut rng)).collect();
+        let w1: Vec<Matrix> =
+            (0..layers).map(|_| Matrix::xavier_uniform(dim, dim, &mut rng)).collect();
+        let w2: Vec<Matrix> =
+            (0..layers).map(|_| Matrix::xavier_uniform(dim, dim, &mut rng)).collect();
         Self {
             user_base: Matrix::xavier_uniform(ds.n_users, dim, &mut rng),
             item_base: Matrix::xavier_uniform(ds.n_items, dim, &mut rng),

@@ -163,11 +163,27 @@ impl Backbone for SimGcl {
                 let mut g2i = Matrix::zeros(ni, d);
                 let users = dedup_cap(batch_users, AUX_NODE_CAP);
                 if !users.is_empty() {
-                    aux += info_nce_grad(v1u, v2u, &users, self.ssl_tau, self.ssl_reg, &mut g1u, &mut g2u);
+                    aux += info_nce_grad(
+                        v1u,
+                        v2u,
+                        &users,
+                        self.ssl_tau,
+                        self.ssl_reg,
+                        &mut g1u,
+                        &mut g2u,
+                    );
                 }
                 let items = dedup_cap(batch_items, AUX_NODE_CAP);
                 if !items.is_empty() {
-                    aux += info_nce_grad(v1i, v2i, &items, self.ssl_tau, self.ssl_reg, &mut g1i, &mut g2i);
+                    aux += info_nce_grad(
+                        v1i,
+                        v2i,
+                        &items,
+                        self.ssl_tau,
+                        self.ssl_reg,
+                        &mut g1i,
+                        &mut g2i,
+                    );
                 }
                 // Both noise views share the full-graph propagation; the
                 // noise is constant, so backward is plain propagation of

@@ -216,8 +216,13 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let ds = Arc::new(generate(&SynthConfig::tiny(6)));
-        let cfg =
-            UltraGcnConfig { dim: 4, epochs: 2, batch_size: 64, negatives: 4, ..Default::default() };
+        let cfg = UltraGcnConfig {
+            dim: 4,
+            epochs: 2,
+            batch_size: 64,
+            negatives: 4,
+            ..Default::default()
+        };
         let (a, _) = train_ultragcn(&ds, &cfg);
         let (b, _) = train_ultragcn(&ds, &cfg);
         assert_eq!(a.as_slice(), b.as_slice());

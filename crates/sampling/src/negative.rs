@@ -71,8 +71,7 @@ pub struct PopularitySampler {
 impl PopularitySampler {
     /// Builds the alias table from train-split popularity.
     pub fn new(ds: std::sync::Arc<Dataset>, alpha: f64) -> Self {
-        let weights: Vec<f64> =
-            ds.popularity().iter().map(|&p| (p as f64).powf(alpha)).collect();
+        let weights: Vec<f64> = ds.popularity().iter().map(|&p| (p as f64).powf(alpha)).collect();
         let table = AliasTable::new(&weights);
         Self { ds, table }
     }
@@ -200,14 +199,31 @@ mod tests {
         let s = PopularitySampler::new(ds.clone(), 1.0);
         let mut rng = StdRng::seed_from_u64(3);
         let pop = ds.popularity();
-        let mean_pop_all: f64 =
-            pop.iter().map(|&p| p as f64).sum::<f64>() / pop.len() as f64;
+        // Candidate items for user 0 = everything except their training
+        // positives (the sampler rejects those). Under `p(i) ∝ pop_i` the
+        // expected popularity of a draw is Σ pop_i² / Σ pop_i over the
+        // candidates, strictly above the uniform candidate mean whenever
+        // popularity varies.
+        let candidates: Vec<usize> =
+            (0..ds.n_items).filter(|&i| !ds.train.contains(0, i as u32)).collect();
+        let sum_pop: f64 = candidates.iter().map(|&i| pop[i] as f64).sum();
+        let uniform_mean = sum_pop / candidates.len() as f64;
+        let weighted_mean: f64 =
+            candidates.iter().map(|&i| (pop[i] as f64).powi(2)).sum::<f64>() / sum_pop;
         let negs = s.sample(0, 4000, &mut rng);
         let mean_pop_sampled: f64 =
             negs.iter().map(|&i| pop[i as usize] as f64).sum::<f64>() / negs.len() as f64;
         assert!(
-            mean_pop_sampled > mean_pop_all * 1.3,
-            "sampled mean pop {mean_pop_sampled} vs item mean {mean_pop_all}"
+            weighted_mean > uniform_mean,
+            "degenerate dataset: weighted {weighted_mean} vs uniform {uniform_mean}"
+        );
+        assert!(
+            (mean_pop_sampled - weighted_mean).abs() < 0.1 * weighted_mean,
+            "sampled mean pop {mean_pop_sampled} vs expected {weighted_mean}"
+        );
+        assert!(
+            mean_pop_sampled > uniform_mean,
+            "sampled mean pop {mean_pop_sampled} not above uniform mean {uniform_mean}"
         );
     }
 

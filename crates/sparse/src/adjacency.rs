@@ -35,8 +35,7 @@ impl NormAdj {
     /// degree 1 in the normalizer so their rows stay zero without dividing
     /// by zero.
     pub fn from_interactions(n_users: usize, n_items: usize, interactions: &[(u32, u32)]) -> Self {
-        let trips: Vec<(u32, u32, f32)> =
-            interactions.iter().map(|&(u, i)| (u, i, 1.0)).collect();
+        let trips: Vec<(u32, u32, f32)> = interactions.iter().map(|&(u, i)| (u, i, 1.0)).collect();
         let mut r = Csr::from_coo(n_users, n_items, &trips);
         // Re-binarize in case of duplicate interactions.
         for row in 0..n_users {
@@ -49,11 +48,7 @@ impl NormAdj {
 
     /// Builds `Â` from an existing (binary or weighted) CSR block `R`.
     pub fn from_csr(mut r: Csr) -> Self {
-        let du: Vec<f32> = r
-            .row_sums()
-            .iter()
-            .map(|&d| 1.0 / (d.max(1.0)).sqrt() as f32)
-            .collect();
+        let du: Vec<f32> = r.row_sums().iter().map(|&d| 1.0 / (d.max(1.0)).sqrt() as f32).collect();
         let di: Vec<f32> = {
             let t = r.transpose();
             t.row_sums().iter().map(|&d| 1.0 / (d.max(1.0)).sqrt() as f32).collect()

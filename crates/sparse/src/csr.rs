@@ -24,7 +24,10 @@ impl Csr {
     /// Panics if any coordinate is out of bounds.
     pub fn from_coo(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!((r as usize) < rows && (c as usize) < cols, "entry ({r},{c}) out of bounds for {rows}x{cols}");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "entry ({r},{c}) out of bounds for {rows}x{cols}"
+            );
         }
         let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
         sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
@@ -178,9 +181,7 @@ impl Csr {
 
     /// Row sums (the weighted out-degree of each row node).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows)
-            .map(|r| self.row_values(r).iter().map(|&v| v as f64).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row_values(r).iter().map(|&v| v as f64).sum()).collect()
     }
 
     /// Per-row structural degree (entry counts).
@@ -322,7 +323,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut trips = Vec::new();
         for _ in 0..40 {
-            trips.push((rng.gen_range(0..8u32), rng.gen_range(0..6u32), rng.gen_range(-1.0..1.0f32)));
+            trips.push((
+                rng.gen_range(0..8u32),
+                rng.gen_range(0..6u32),
+                rng.gen_range(-1.0..1.0f32),
+            ));
         }
         let m = Csr::from_coo(8, 6, &trips);
         let x = Matrix::gaussian(8, 3, 1.0, &mut rng);

@@ -31,23 +31,26 @@ fn main() {
 
     println!("\n== Lemma 2: Taylor remainder decays faster than 1/τ ==");
     for tau in [0.5f64, 1.0, 2.0, 4.0] {
-        println!("  τ={tau:<4} |τ·lme(f/τ) − (mean + V/2τ)| = {:.3e}", taylor_remainder(&scores, tau));
+        println!(
+            "  τ={tau:<4} |τ·lme(f/τ) − (mean + V/2τ)| = {:.3e}",
+            taylor_remainder(&scores, tau)
+        );
     }
 
     println!("\n== Corollary III.1: τ* = sqrt(V/2η) ==");
     let var = 0.12f64;
     for eta in [0.1f64, 0.5, 2.0] {
         let tau = optimal_tau(var, eta);
-        println!("  V={var}, η={eta:<4} → τ*={tau:.4} (η implied back: {:.4})", var / (2.0 * tau * tau));
+        println!(
+            "  V={var}, η={eta:<4} → τ*={tau:.4} (η implied back: {:.4})",
+            var / (2.0 * tau * tau)
+        );
     }
 
     println!("\n== Worst-case weights sharpen as τ drops (Fig 4b) ==");
     for tau in [0.5f64, 0.13, 0.09] {
         let w = worst_case_weights(&scores, tau);
         let max = w.iter().cloned().fold(0.0f64, f64::max);
-        println!(
-            "  τ={tau:<5} max weight={max:.3}  implied η={:.4}",
-            implied_radius(&scores, tau)
-        );
+        println!("  τ={tau:<5} max weight={max:.3}  implied η={:.4}", implied_radius(&scores, tau));
     }
 }

@@ -15,10 +15,7 @@ fn main() {
     println!("dataset: {} — {}\n", clean.name, clean.stats());
     let base = TrainConfig { dim: 32, epochs: 25, negatives: 64, ..TrainConfig::paper_default() };
 
-    println!(
-        "{:<8} {:>10} {:>10} {:>10}",
-        "noise", "SL NDCG", "BSL NDCG", "BSL gain"
-    );
+    println!("{:<8} {:>10} {:>10} {:>10}", "noise", "SL NDCG", "BSL NDCG", "BSL gain");
     for ratio in [0.0f64, 0.2, 0.4] {
         let ds = if ratio == 0.0 {
             clean.clone()
@@ -28,11 +25,9 @@ fn main() {
         // τ calibrated to the synthetic substrate (DESIGN.md §9.5: the
         // optimum sits higher than the paper's ~0.1); BSL uses τ1/τ2 ≈ 3.
         let sl = Trainer::new(TrainConfig { loss: LossConfig::Sl { tau: 0.35 }, ..base }).fit(&ds);
-        let bsl = Trainer::new(TrainConfig {
-            loss: LossConfig::Bsl { tau1: 1.0, tau2: 0.35 },
-            ..base
-        })
-        .fit(&ds);
+        let bsl =
+            Trainer::new(TrainConfig { loss: LossConfig::Bsl { tau1: 1.0, tau2: 0.35 }, ..base })
+                .fit(&ds);
         let (s, b) = (sl.best.ndcg(20), bsl.best.ndcg(20));
         println!(
             "{:<8} {:>10.4} {:>10.4} {:>+9.2}%",

@@ -22,14 +22,8 @@ fn chance_ndcg(ds: &Arc<Dataset>) -> f64 {
 }
 
 fn train(ds: &Arc<Dataset>, backbone: BackboneConfig, loss: LossConfig) -> f64 {
-    let cfg = TrainConfig {
-        backbone,
-        loss,
-        epochs: 10,
-        negatives: 8,
-        lr: 0.03,
-        ..TrainConfig::smoke()
-    };
+    let cfg =
+        TrainConfig { backbone, loss, epochs: 10, negatives: 8, lr: 0.03, ..TrainConfig::smoke() };
     let out = Trainer::new(cfg).fit(ds);
     assert!(out.user_emb.as_slice().iter().all(|v| v.is_finite()), "non-finite embeddings");
     assert!(out.history.iter().all(|s| s.loss.is_finite()), "non-finite loss");

@@ -1,0 +1,60 @@
+//! Workspace-level smoke test for the loss zoo's gradient contract.
+//!
+//! Every [`bsl_losses::RankingLoss`] implementation promises exact analytic
+//! gradients. This test instantiates each loss through the public
+//! [`bsl_losses::LossConfig`] selector (so newly added variants are pulled
+//! in automatically as long as they are wired into `build`) and checks the
+//! analytic gradients against central finite differences from
+//! `bsl_losses::fd` on several deterministic batches.
+
+use bsl_losses::fd::{assert_grads_match, synthetic_scores};
+use bsl_losses::{build, LossConfig};
+
+/// Every config variant the loss zoo exposes. Keep in sync with
+/// `LossConfig`; `build_constructs_every_variant` in `bsl-losses` guards
+/// the name list, this list guards the gradient contract.
+fn all_configs() -> Vec<LossConfig> {
+    vec![
+        LossConfig::Bpr,
+        LossConfig::Bce { neg_weight: 0.7 },
+        LossConfig::Mse { neg_weight: 1.3 },
+        LossConfig::Sl { tau: 0.2 },
+        LossConfig::Bsl { tau1: 0.15, tau2: 0.1 },
+        LossConfig::Ccl { margin: 0.4, neg_weight: 1.5 },
+        LossConfig::Hinge { margin: 0.5 },
+        LossConfig::TaylorSl { tau: 0.25, with_variance: true },
+        LossConfig::TaylorSl { tau: 0.25, with_variance: false },
+    ]
+}
+
+#[test]
+fn every_loss_matches_finite_differences() {
+    // (batch, negatives-per-row, seed) combinations exercising B = 1,
+    // m = 1, and non-trivial shapes.
+    let shapes = [(1usize, 1usize, 11u64), (3, 4, 23), (8, 2, 57), (5, 7, 91)];
+    for cfg in all_configs() {
+        let loss = build(cfg);
+        for &(b, m, seed) in &shapes {
+            let (pos, neg) = synthetic_scores(b, m, seed);
+            assert_grads_match(loss.as_ref(), &pos, &neg, m, 2e-2);
+        }
+    }
+}
+
+#[test]
+fn gradients_are_finite_at_extreme_scores() {
+    // Saturated scores (±1 after cosine normalisation) must not produce
+    // NaN/Inf gradients in any loss.
+    let pos = [0.999f32, -0.999, 0.0];
+    let neg = [0.999f32, -0.999, 0.5, -0.5, 0.0, 0.25];
+    for cfg in all_configs() {
+        let loss = build(cfg);
+        let out = loss.compute(&bsl_losses::ScoreBatch::new(&pos, &neg, 2));
+        assert!(out.loss.is_finite(), "{}: non-finite loss", loss.name());
+        assert!(
+            out.grad_pos.iter().chain(out.grad_neg.iter()).all(|g| g.is_finite()),
+            "{}: non-finite gradient",
+            loss.name()
+        );
+    }
+}

@@ -72,10 +72,8 @@ fn claim_bsl_beats_sl_under_positive_noise() {
     // tuned to the noise level).
     let mut bsl = f64::MIN;
     for tau1 in [0.3f32, 0.5, 0.8] {
-        bsl = bsl.max(fit(
-            &noisy,
-            TrainConfig { loss: LossConfig::Bsl { tau1, tau2: 0.15 }, ..base() },
-        ));
+        bsl = bsl
+            .max(fit(&noisy, TrainConfig { loss: LossConfig::Bsl { tau1, tau2: 0.15 }, ..base() }));
     }
     assert!(bsl > sl, "BSL {bsl:.4} should beat SL {sl:.4} at 40% positive noise");
 }

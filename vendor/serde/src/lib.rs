@@ -1,0 +1,16 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace builds hermetically (no crates.io), so this shim supplies
+//! the two marker traits and re-exports no-op derive macros from
+//! [`serde_derive`]. Deriving `Serialize`/`Deserialize` therefore compiles
+//! but generates no impls — acceptable because nothing in the workspace
+//! serializes yet. Swapping in the real `serde` later requires only a
+//! `Cargo.toml` change (see the root `[workspace.dependencies]`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde` shim.
+//!
+//! The workspace derives these traits on config structs so that a real
+//! `serde` can be dropped in once network access is available; offline, the
+//! derives expand to nothing (no impls, no generated code), which is enough
+//! for the code to compile because nothing in the workspace calls
+//! serialization entry points yet.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
