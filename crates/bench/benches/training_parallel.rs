@@ -1,0 +1,55 @@
+//! Parallel-epoch benchmarks: the same MF+BSL epoch on a Yelp-like
+//! synthetic dataset at 1/2/4 worker threads, plus the sharded in-batch
+//! step. Compare `threads1` vs `threads4` to read the epoch speedup
+//! (`threads = 1` is the bit-exact serial baseline; the acceptance target
+//! is ≥ 2× at 4 threads on a ≥ 4-core machine).
+
+use bsl_core::prelude::*;
+use bsl_core::SamplingConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn epoch_cfg(threads: usize) -> TrainConfig {
+    TrainConfig {
+        backbone: BackboneConfig::Mf,
+        loss: LossConfig::Bsl { tau1: 0.3, tau2: 0.15 },
+        epochs: 1,
+        eval_every: 1,
+        dim: 32,
+        negatives: 64,
+        batch_size: 512,
+        patience: 0,
+        threads,
+        ..TrainConfig::smoke()
+    }
+}
+
+fn bench_training_parallel(c: &mut Criterion) {
+    let ds = Arc::new(generate(&SynthConfig::yelp_like(1)));
+
+    for threads in [1usize, 2, 4] {
+        let cfg = epoch_cfg(threads);
+        c.bench_function(&format!("epoch_mf_bsl_yelp_threads{threads}"), |b| {
+            b.iter(|| Trainer::new(cfg).fit(&ds))
+        });
+    }
+
+    // The sharded B × B in-batch similarity path.
+    for threads in [1usize, 4] {
+        let cfg = TrainConfig {
+            sampling: SamplingConfig::InBatch,
+            batch_size: 256,
+            ..epoch_cfg(threads)
+        };
+        c.bench_function(&format!("epoch_mf_bsl_inbatch_threads{threads}"), |b| {
+            b.iter(|| Trainer::new(cfg).fit(&ds))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_parallel
+}
+criterion_main!(benches);

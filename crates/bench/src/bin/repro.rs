@@ -1,7 +1,11 @@
-//! The reproduction driver: `repro <experiment> [--scale quick|full]`.
+//! The reproduction driver:
+//! `repro <experiment> [--scale quick|full] [--threads N]`.
 //!
 //! One subcommand per table/figure of the paper's evaluation section (see
 //! DESIGN.md §6 for the experiment index). `all` runs everything in order.
+//! `--threads` feeds [`TrainConfig::threads`](bsl_core::TrainConfig) for
+//! every experiment (`0` = one worker per core; default `1` keeps outputs
+//! bit-reproducible across machines).
 
 use bsl_bench::experiments::*;
 use bsl_bench::Scale;
@@ -12,7 +16,7 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment|all> [--scale quick|full]");
+    eprintln!("usage: repro <experiment|all> [--scale quick|full] [--threads N]");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
         "(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)"
@@ -57,6 +61,11 @@ fn main() {
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                common::set_default_threads(n);
             }
             other => names.push(other.to_string()),
         }

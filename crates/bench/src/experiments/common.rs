@@ -3,7 +3,27 @@
 use bsl_core::prelude::*;
 use bsl_core::SamplingConfig;
 use bsl_data::synth::SynthConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Worker-thread default applied by [`base_cfg`]; `1` keeps experiment
+/// outputs bit-reproducible across machines, the `repro` binary's
+/// `--threads` flag overrides it (0 = one per core).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the thread count [`base_cfg`] hands to every experiment config.
+/// Note that `threads != 1` changes sampling streams, so figures/tables
+/// are then reproducible per machine-independent `(seed, threads)` pair
+/// but no longer bit-comparable to the serial baseline.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The thread count experiments currently run with (see
+/// [`set_default_threads`]).
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
 
 /// Experiment scale.
 ///
@@ -123,6 +143,7 @@ pub fn base_cfg(scale: Scale) -> TrainConfig {
         eval_every: 3,
         patience: 4,
         seed: 0,
+        threads: default_threads(),
     }
 }
 
@@ -230,6 +251,15 @@ mod tests {
         let q = dataset(Scale::Quick, "yelp");
         assert!(q.n_users < 700);
         assert!(q.n_users >= 40);
+    }
+
+    #[test]
+    fn thread_override_flows_into_base_cfg() {
+        let before = default_threads();
+        set_default_threads(4);
+        assert_eq!(base_cfg(Scale::Quick).threads, 4);
+        set_default_threads(before);
+        assert_eq!(base_cfg(Scale::Quick).threads, before);
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub fn run_exp(scale: Scale) {
                 let path = format!("target/tsne-{name}-{}-{label}.csv", (ratio * 100.0) as u32);
                 if let Ok(mut f) = std::fs::File::create(&path) {
                     let _ = writeln!(f, "x,y,cluster");
-                    for r in 0..n {
-                        let _ = writeln!(f, "{},{},{}", map.get(r, 0), map.get(r, 1), clusters[r]);
+                    for (r, &cluster) in clusters.iter().enumerate().take(n) {
+                        let _ = writeln!(f, "{},{},{}", map.get(r, 0), map.get(r, 1), cluster);
                     }
                 }
                 row(&[

@@ -54,6 +54,25 @@ pub struct TrainConfig {
     pub patience: usize,
     /// RNG seed for init, shuffling and sampling.
     pub seed: u64,
+    /// Worker threads for batch sampling and the trainer step
+    /// (`0` = auto: one per available core).
+    ///
+    /// * `threads == 1` runs the fully serial path, bit-identical to the
+    ///   historical single-threaded trainer.
+    /// * `threads > 1` shards each epoch's negative sampling across that
+    ///   many [`bsl_sampling::ParBatchIter`] workers and splits each
+    ///   step's score/gradient passes across the same number of scoped
+    ///   threads, merging per-shard gradient buffers in a fixed order
+    ///   before the optimizer step.
+    ///
+    /// **Determinism semantics:** results are deterministic per
+    /// `(seed, threads)` — re-running the same config replays the run
+    /// exactly — but they are *not* bit-identical across different
+    /// thread counts, because sampling shards draw from split RNG
+    /// streams and f32 gradient reduction follows the shard layout.
+    /// Treat a change of `threads` like a change of `seed`: metrics stay
+    /// within run-to-run noise, individual bits do not.
+    pub threads: usize,
 }
 
 impl TrainConfig {
@@ -72,6 +91,7 @@ impl TrainConfig {
             eval_every: 5,
             patience: 4,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -90,6 +110,17 @@ impl TrainConfig {
             eval_every: 2,
             patience: 0,
             seed: 0,
+            threads: 1,
+        }
+    }
+
+    /// The effective worker count: `threads`, or one per available core
+    /// when `threads == 0`.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 
@@ -139,5 +170,16 @@ mod tests {
         assert!(p.epochs > 0 && p.batch_size > 0 && p.negatives > 0);
         let s = TrainConfig::smoke();
         assert!(s.epochs < p.epochs);
+        // Both defaults pin the bit-exact serial path.
+        assert_eq!(p.threads, 1);
+        assert_eq!(s.threads, 1);
+    }
+
+    #[test]
+    fn resolved_threads_expands_auto() {
+        let explicit = TrainConfig { threads: 3, ..TrainConfig::smoke() };
+        assert_eq!(explicit.resolved_threads(), 3);
+        let auto = TrainConfig { threads: 0, ..TrainConfig::smoke() };
+        assert!(auto.resolved_threads() >= 1);
     }
 }

@@ -9,7 +9,7 @@ use bsl_losses::{build as build_loss, RankingLoss, ScoreBatch};
 use bsl_models::cml::euclidean_rank_embeddings;
 use bsl_models::{build as build_backbone, Backbone, EvalScore, GradBuffer, Hyper, TrainScore};
 use bsl_sampling::{
-    BatchIter, NegativeSampler, NoisySampler, PopularitySampler, TrainBatch, UniformSampler,
+    epoch_batches, NegativeSampler, NoisySampler, PopularitySampler, TrainBatch, UniformSampler,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,6 +82,14 @@ pub struct Trainer {
     cfg: TrainConfig,
 }
 
+/// Contiguous row ranges splitting `n` rows across at most `k` workers
+/// (fewer when `n < k`; never empty ranges).
+fn row_chunks(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let k = k.min(n).max(1);
+    let chunk = n.div_ceil(k);
+    (0..n).step_by(chunk.max(1)).map(|s| s..(s + chunk).min(n)).collect()
+}
+
 /// Reusable per-row score scratch (unit vectors and norms).
 struct ScoreScratch {
     /// Unit user vectors, `B × d`.
@@ -118,14 +126,14 @@ impl Trainer {
         assert!(cfg.epochs > 0, "epochs must be positive");
         assert!(cfg.eval_every > 0, "eval_every must be positive");
         let loss = build_loss(cfg.loss);
-        let sampler: Box<dyn NegativeSampler> = match cfg.sampling {
+        let sampler: Arc<dyn NegativeSampler> = match cfg.sampling {
             SamplingConfig::Uniform | SamplingConfig::InBatch => {
-                Box::new(UniformSampler::new(ds.clone()))
+                Arc::new(UniformSampler::new(ds.clone()))
             }
             SamplingConfig::Popularity { alpha } => {
-                Box::new(PopularitySampler::new(ds.clone(), alpha))
+                Arc::new(PopularitySampler::new(ds.clone(), alpha))
             }
-            SamplingConfig::Noisy { r_noise } => Box::new(NoisySampler::new(ds.clone(), r_noise)),
+            SamplingConfig::Noisy { r_noise } => Arc::new(NoisySampler::new(ds.clone(), r_noise)),
         };
         let in_batch = cfg.sampling == SamplingConfig::InBatch;
         // In-batch rows carry B−1 negatives each; the sampler's draws are
@@ -134,6 +142,16 @@ impl Trainer {
 
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xB5F0_0B5F);
         let mut grads = GradBuffer::new(ds.n_users, ds.n_items, backbone.out_dim());
+        // `threads == 1` must stay bit-identical to the historical serial
+        // trainer, so the sharded machinery only exists when threads > 1.
+        let n_threads = cfg.resolved_threads();
+        let mut shard_grads: Vec<GradBuffer> = if n_threads > 1 {
+            (0..n_threads)
+                .map(|_| GradBuffer::new(ds.n_users, ds.n_items, backbone.out_dim()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let hyper = Hyper { lr: cfg.lr, l2: cfg.l2 };
 
         let mut history = Vec::new();
@@ -147,15 +165,48 @@ impl Trainer {
             let mut aux_sum = 0.0f64;
             let mut n_batches = 0usize;
             let epoch_seed = cfg.seed.wrapping_add(1 + epoch as u64);
-            for batch in BatchIter::new(ds, sampler.as_ref(), cfg.batch_size, m, epoch_seed) {
+            // Sampling shards (threads > 1) overlap negative drawing with
+            // the gradient work below; one shard is the serial BatchIter.
+            for batch in epoch_batches(ds, &sampler, cfg.batch_size, m, epoch_seed, n_threads) {
                 if in_batch && batch.len() < 2 {
                     continue; // a single row has no in-batch negatives
                 }
                 backbone.forward(&mut rng);
-                let (l, aux) = if in_batch {
-                    self.step_in_batch(backbone, loss.as_ref(), &batch, &mut grads, hyper, &mut rng)
-                } else {
-                    self.step_sampled(backbone, loss.as_ref(), &batch, &mut grads, hyper, &mut rng)
+                let (l, aux) = match (in_batch, n_threads > 1) {
+                    (true, false) => self.step_in_batch(
+                        backbone,
+                        loss.as_ref(),
+                        &batch,
+                        &mut grads,
+                        hyper,
+                        &mut rng,
+                    ),
+                    (true, true) => self.step_in_batch_par(
+                        backbone,
+                        loss.as_ref(),
+                        &batch,
+                        &mut grads,
+                        &mut shard_grads,
+                        hyper,
+                        &mut rng,
+                    ),
+                    (false, false) => self.step_sampled(
+                        backbone,
+                        loss.as_ref(),
+                        &batch,
+                        &mut grads,
+                        hyper,
+                        &mut rng,
+                    ),
+                    (false, true) => self.step_sampled_par(
+                        backbone,
+                        loss.as_ref(),
+                        &batch,
+                        &mut grads,
+                        &mut shard_grads,
+                        hyper,
+                        &mut rng,
+                    ),
                 };
                 loss_sum += l;
                 aux_sum += aux;
@@ -342,6 +393,197 @@ impl Trainer {
         (out.loss, aux)
     }
 
+    /// The sharded counterpart of [`Trainer::step_sampled`]: pass-1
+    /// scoring and pass-2 gradient accumulation run on scoped worker
+    /// threads over contiguous row chunks, one private [`GradBuffer`] per
+    /// shard, merged in shard order before the optimizer step. The math is
+    /// identical to the serial step; only the f32 reduction order of
+    /// gradient rows shared between shards differs, so results are
+    /// deterministic for a fixed `(seed, threads)` pair.
+    #[allow(clippy::too_many_arguments)] // mirrors step_sampled + the shard buffers
+    fn step_sampled_par(
+        &self,
+        backbone: &mut dyn Backbone,
+        loss: &dyn RankingLoss,
+        batch: &TrainBatch,
+        grads: &mut GradBuffer,
+        shard_grads: &mut [GradBuffer],
+        hyper: Hyper,
+        rng: &mut StdRng,
+    ) -> (f64, f64) {
+        let b = batch.len();
+        let m = batch.m;
+        let d = backbone.out_dim();
+        let score_kind = backbone.train_score();
+        let users = backbone.user_factors();
+        let items = backbone.item_factors();
+        let chunks = row_chunks(b, shard_grads.len());
+
+        let mut user_hat = vec![0.0f32; b * d];
+        let mut user_norm = vec![0.0f32; b];
+        let mut pos_hat = vec![0.0f32; b * d];
+        let mut pos_norm = vec![0.0f32; b];
+        let mut pos_scores = vec![0.0f32; b];
+        let mut neg_scores = vec![0.0f32; b * m];
+
+        // Pass 1 — scores, row-sharded into disjoint scratch slices.
+        std::thread::scope(|scope| {
+            let mut uh_rest = user_hat.as_mut_slice();
+            let mut un_rest = user_norm.as_mut_slice();
+            let mut ph_rest = pos_hat.as_mut_slice();
+            let mut pn_rest = pos_norm.as_mut_slice();
+            let mut ps_rest = pos_scores.as_mut_slice();
+            let mut ns_rest = neg_scores.as_mut_slice();
+            for range in &chunks {
+                let rows = range.len();
+                let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
+                uh_rest = r;
+                let (un, r) = std::mem::take(&mut un_rest).split_at_mut(rows);
+                un_rest = r;
+                let (ph, r) = std::mem::take(&mut ph_rest).split_at_mut(rows * d);
+                ph_rest = r;
+                let (pn, r) = std::mem::take(&mut pn_rest).split_at_mut(rows);
+                pn_rest = r;
+                let (ps, r) = std::mem::take(&mut ps_rest).split_at_mut(rows);
+                ps_rest = r;
+                let (ns, r) = std::mem::take(&mut ns_rest).split_at_mut(rows * m);
+                ns_rest = r;
+                let range = range.clone();
+                scope.spawn(move || {
+                    let mut jhat = vec![0.0f32; d];
+                    for (li, row) in range.enumerate() {
+                        let u = batch.users[row] as usize;
+                        let i = batch.pos[row] as usize;
+                        match score_kind {
+                            TrainScore::Cosine => {
+                                un[li] =
+                                    normalize_into(users.row(u), &mut uh[li * d..(li + 1) * d]);
+                                pn[li] =
+                                    normalize_into(items.row(i), &mut ph[li * d..(li + 1) * d]);
+                                ps[li] = dot(&uh[li * d..(li + 1) * d], &ph[li * d..(li + 1) * d]);
+                                for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                                    normalize_into(items.row(j as usize), &mut jhat);
+                                    ns[li * m + jj] = dot(&uh[li * d..(li + 1) * d], &jhat);
+                                }
+                            }
+                            TrainScore::NegSqDist => {
+                                ps[li] = -sq_dist(users.row(u), items.row(i));
+                                for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                                    ns[li * m + jj] = -sq_dist(users.row(u), items.row(j as usize));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let out = loss.compute(&ScoreBatch::new(&pos_scores, &neg_scores, m));
+
+        // Pass 2 — chain score gradients into per-shard embedding
+        // gradients (private buffers, no write contention).
+        std::thread::scope(|scope| {
+            let out = &out;
+            let user_hat = &user_hat;
+            let user_norm = &user_norm;
+            let pos_hat = &pos_hat;
+            let pos_norm = &pos_norm;
+            let pos_scores = &pos_scores;
+            let neg_scores = &neg_scores;
+            for (range, gbuf) in chunks.iter().zip(shard_grads.iter_mut()) {
+                let range = range.clone();
+                scope.spawn(move || {
+                    let mut jhat = vec![0.0f32; d];
+                    for row in range {
+                        let u = batch.users[row];
+                        let i = batch.pos[row];
+                        match score_kind {
+                            TrainScore::Cosine => {
+                                let uhat = &user_hat[row * d..(row + 1) * d];
+                                let ihat = &pos_hat[row * d..(row + 1) * d];
+                                let g = out.grad_pos[row];
+                                let s = pos_scores[row];
+                                cosine_backward_into(
+                                    g,
+                                    s,
+                                    uhat,
+                                    ihat,
+                                    user_norm[row],
+                                    gbuf.user_row_mut(u),
+                                );
+                                cosine_backward_into(
+                                    g,
+                                    s,
+                                    ihat,
+                                    uhat,
+                                    pos_norm[row],
+                                    gbuf.item_row_mut(i),
+                                );
+                                for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                                    let g = out.grad_neg[row * m + jj];
+                                    if g == 0.0 {
+                                        continue;
+                                    }
+                                    let s = neg_scores[row * m + jj];
+                                    let jn = normalize_into(items.row(j as usize), &mut jhat);
+                                    cosine_backward_into(
+                                        g,
+                                        s,
+                                        uhat,
+                                        &jhat,
+                                        user_norm[row],
+                                        gbuf.user_row_mut(u),
+                                    );
+                                    cosine_backward_into(
+                                        g,
+                                        s,
+                                        &jhat,
+                                        uhat,
+                                        jn,
+                                        gbuf.item_row_mut(j),
+                                    );
+                                }
+                            }
+                            TrainScore::NegSqDist => {
+                                let urow = users.row(u as usize);
+                                let apply = |g: f32, item: u32, gbuf: &mut GradBuffer| {
+                                    if g == 0.0 {
+                                        return;
+                                    }
+                                    let irow = items.row(item as usize);
+                                    {
+                                        let gu = gbuf.user_row_mut(u);
+                                        axpy(2.0 * g, irow, gu);
+                                        axpy(-2.0 * g, urow, gu);
+                                    }
+                                    {
+                                        let gi = gbuf.item_row_mut(item);
+                                        axpy(2.0 * g, urow, gi);
+                                        axpy(-2.0 * g, irow, gi);
+                                    }
+                                };
+                                apply(out.grad_pos[row], i, gbuf);
+                                for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                                    apply(out.grad_neg[row * m + jj], j, gbuf);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Fixed shard merge order keeps runs deterministic per thread
+        // count.
+        for sg in shard_grads.iter_mut() {
+            grads.merge_from(sg);
+            sg.clear();
+        }
+        let aux = backbone.step(grads, &batch.users, &batch.pos, hyper, rng);
+        grads.clear();
+        (out.loss, aux)
+    }
+
     /// One optimizer step with in-batch shared negatives: row `b`'s
     /// negatives are the other rows' positive items (paper Table V).
     fn step_in_batch(
@@ -403,7 +645,7 @@ impl Trainer {
             cosine_backward_into(g, s, &ua, &ia, user_norm[a], grads.user_row_mut(batch.users[a]));
             cosine_backward_into(g, s, &ia, &ua, item_norm[a], grads.item_row_mut(batch.pos[a]));
             let mut jj = 0;
-            for c in 0..b {
+            for (c, &c_norm) in item_norm.iter().enumerate() {
                 if c == a {
                     continue;
                 }
@@ -422,17 +664,185 @@ impl Trainer {
                     user_norm[a],
                     grads.user_row_mut(batch.users[a]),
                 );
-                cosine_backward_into(
-                    g,
-                    s,
-                    &ic,
-                    &ua,
-                    item_norm[c],
-                    grads.item_row_mut(batch.pos[c]),
-                );
+                cosine_backward_into(g, s, &ic, &ua, c_norm, grads.item_row_mut(batch.pos[c]));
             }
         }
 
+        let aux = backbone.step(grads, &batch.users, &batch.pos, hyper, rng);
+        grads.clear();
+        (out.loss, aux)
+    }
+
+    /// The sharded counterpart of [`Trainer::step_in_batch`]: the `B × B`
+    /// similarity matrix is computed by row chunks, and the gradient pass
+    /// accumulates into per-shard buffers merged in shard order. A row's
+    /// negatives touch *other* rows' positive items, so shards write
+    /// overlapping item rows — private buffers plus the ordered merge keep
+    /// that exact and deterministic per thread count.
+    #[allow(clippy::too_many_arguments)] // mirrors step_in_batch + the shard buffers
+    fn step_in_batch_par(
+        &self,
+        backbone: &mut dyn Backbone,
+        loss: &dyn RankingLoss,
+        batch: &TrainBatch,
+        grads: &mut GradBuffer,
+        shard_grads: &mut [GradBuffer],
+        hyper: Hyper,
+        rng: &mut StdRng,
+    ) -> (f64, f64) {
+        let b = batch.len();
+        let m = b - 1;
+        let d = backbone.out_dim();
+        debug_assert_eq!(backbone.train_score(), TrainScore::Cosine, "in-batch assumes cosine");
+        let users = backbone.user_factors();
+        let items = backbone.item_factors();
+        let chunks = row_chunks(b, shard_grads.len());
+
+        // Normalize each row's user and positive item once, row-sharded.
+        let mut user_hat = vec![0.0f32; b * d];
+        let mut item_hat = vec![0.0f32; b * d];
+        let mut user_norm = vec![0.0f32; b];
+        let mut item_norm = vec![0.0f32; b];
+        std::thread::scope(|scope| {
+            let mut uh_rest = user_hat.as_mut_slice();
+            let mut ih_rest = item_hat.as_mut_slice();
+            let mut un_rest = user_norm.as_mut_slice();
+            let mut in_rest = item_norm.as_mut_slice();
+            for range in &chunks {
+                let rows = range.len();
+                let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
+                uh_rest = r;
+                let (ih, r) = std::mem::take(&mut ih_rest).split_at_mut(rows * d);
+                ih_rest = r;
+                let (un, r) = std::mem::take(&mut un_rest).split_at_mut(rows);
+                un_rest = r;
+                let (inorm, r) = std::mem::take(&mut in_rest).split_at_mut(rows);
+                in_rest = r;
+                let range = range.clone();
+                scope.spawn(move || {
+                    for (li, row) in range.enumerate() {
+                        un[li] = normalize_into(
+                            users.row(batch.users[row] as usize),
+                            &mut uh[li * d..(li + 1) * d],
+                        );
+                        inorm[li] = normalize_into(
+                            items.row(batch.pos[row] as usize),
+                            &mut ih[li * d..(li + 1) * d],
+                        );
+                    }
+                });
+            }
+        });
+
+        // Full similarity matrix S[a][c] = cos(user_a, item_c), by row
+        // chunks (every worker reads all of item_hat).
+        let mut sims = vec![0.0f32; b * b];
+        std::thread::scope(|scope| {
+            let user_hat = &user_hat;
+            let item_hat = &item_hat;
+            let mut s_rest = sims.as_mut_slice();
+            for range in &chunks {
+                let (srows, r) = std::mem::take(&mut s_rest).split_at_mut(range.len() * b);
+                s_rest = r;
+                let range = range.clone();
+                scope.spawn(move || {
+                    for (li, a) in range.enumerate() {
+                        let ua = &user_hat[a * d..(a + 1) * d];
+                        for (c, slot) in srows[li * b..(li + 1) * b].iter_mut().enumerate() {
+                            *slot = dot(ua, &item_hat[c * d..(c + 1) * d]);
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut pos_scores = vec![0.0f32; b];
+        let mut neg_scores = vec![0.0f32; b * m];
+        for a in 0..b {
+            pos_scores[a] = sims[a * b + a];
+            let mut jj = 0;
+            for c in 0..b {
+                if c != a {
+                    neg_scores[a * m + jj] = sims[a * b + c];
+                    jj += 1;
+                }
+            }
+        }
+        let out = loss.compute(&ScoreBatch::new(&pos_scores, &neg_scores, m));
+
+        // Gradient pass, row-sharded into private buffers; the column item
+        // of slot (a, jj) is row c, which may belong to another shard —
+        // hence per-shard accumulation instead of in-place writes.
+        std::thread::scope(|scope| {
+            let out = &out;
+            let user_hat = &user_hat;
+            let item_hat = &item_hat;
+            let user_norm = &user_norm;
+            let item_norm = &item_norm;
+            let pos_scores = &pos_scores;
+            let neg_scores = &neg_scores;
+            for (range, gbuf) in chunks.iter().zip(shard_grads.iter_mut()) {
+                let range = range.clone();
+                scope.spawn(move || {
+                    for a in range {
+                        let ua = &user_hat[a * d..(a + 1) * d];
+                        let ia = &item_hat[a * d..(a + 1) * d];
+                        let g = out.grad_pos[a];
+                        let s = pos_scores[a];
+                        cosine_backward_into(
+                            g,
+                            s,
+                            ua,
+                            ia,
+                            user_norm[a],
+                            gbuf.user_row_mut(batch.users[a]),
+                        );
+                        cosine_backward_into(
+                            g,
+                            s,
+                            ia,
+                            ua,
+                            item_norm[a],
+                            gbuf.item_row_mut(batch.pos[a]),
+                        );
+                        let mut jj = 0;
+                        for (c, &c_norm) in item_norm.iter().enumerate() {
+                            if c == a {
+                                continue;
+                            }
+                            let g = out.grad_neg[a * m + jj];
+                            let s = neg_scores[a * m + jj];
+                            jj += 1;
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let ic = &item_hat[c * d..(c + 1) * d];
+                            cosine_backward_into(
+                                g,
+                                s,
+                                ua,
+                                ic,
+                                user_norm[a],
+                                gbuf.user_row_mut(batch.users[a]),
+                            );
+                            cosine_backward_into(
+                                g,
+                                s,
+                                ic,
+                                ua,
+                                c_norm,
+                                gbuf.item_row_mut(batch.pos[c]),
+                            );
+                        }
+                    }
+                });
+            }
+        });
+
+        for sg in shard_grads.iter_mut() {
+            grads.merge_from(sg);
+            sg.clear();
+        }
         let aux = backbone.step(grads, &batch.users, &batch.pos, hyper, rng);
         grads.clear();
         (out.loss, aux)
@@ -540,6 +950,122 @@ mod tests {
         let b = Trainer::new(cfg).fit(&ds);
         assert_eq!(a.best.ndcg(20), b.best.ndcg(20));
         assert_eq!(a.user_emb.as_slice(), b.user_emb.as_slice());
+    }
+
+    #[test]
+    fn threads_one_replays_bit_for_bit() {
+        // `threads: 1` is the historical serial path; two runs (and the
+        // default config, which pins threads = 1) must agree bit-for-bit.
+        let ds = tiny();
+        let cfg = TrainConfig { epochs: 3, threads: 1, ..TrainConfig::smoke() };
+        let a = Trainer::new(cfg).fit(&ds);
+        let b = Trainer::new(cfg).fit(&ds);
+        let default_cfg = Trainer::new(TrainConfig { epochs: 3, ..TrainConfig::smoke() }).fit(&ds);
+        assert_eq!(a.user_emb.as_slice(), b.user_emb.as_slice());
+        assert_eq!(a.item_emb.as_slice(), b.item_emb.as_slice());
+        assert_eq!(a.user_emb.as_slice(), default_cfg.user_emb.as_slice());
+        assert_eq!(a.best.ndcg(20), default_cfg.best.ndcg(20));
+    }
+
+    #[test]
+    fn parallel_trainer_is_deterministic_per_thread_count() {
+        let ds = tiny();
+        let cfg = TrainConfig { epochs: 3, threads: 3, ..TrainConfig::smoke() };
+        let a = Trainer::new(cfg).fit(&ds);
+        let b = Trainer::new(cfg).fit(&ds);
+        assert_eq!(a.user_emb.as_slice(), b.user_emb.as_slice());
+        assert_eq!(a.best.ndcg(20), b.best.ndcg(20));
+    }
+
+    #[test]
+    fn sharded_step_matches_serial_math_on_identical_batches() {
+        // With a single batch per epoch, every batch index maps to shard 0,
+        // whose RNG stream continues the shuffle stream — i.e. the sampled
+        // negatives are *identical* to the serial iterator's. Any remaining
+        // difference is purely the sharded step's f32 reduction order.
+        let ds = tiny();
+        let one_batch = TrainConfig {
+            epochs: 3,
+            batch_size: 100_000, // the whole epoch in one batch
+            ..TrainConfig::smoke()
+        };
+        let serial = Trainer::new(TrainConfig { threads: 1, ..one_batch }).fit(&ds);
+        let sharded = Trainer::new(TrainConfig { threads: 4, ..one_batch }).fit(&ds);
+        for (epoch_s, epoch_p) in serial.history.iter().zip(sharded.history.iter()) {
+            assert!(
+                (epoch_s.loss - epoch_p.loss).abs() < 1e-4 * (1.0 + epoch_s.loss.abs()),
+                "epoch {} loss {} vs {}",
+                epoch_s.epoch,
+                epoch_s.loss,
+                epoch_p.loss
+            );
+        }
+        let max_diff = serial
+            .user_emb
+            .as_slice()
+            .iter()
+            .zip(sharded.user_emb.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-3, "embeddings drifted {max_diff} beyond f32 reduction noise");
+    }
+
+    #[test]
+    fn parallel_ndcg_within_tolerance_of_serial() {
+        // Different shard counts run different negative-sampling streams,
+        // so metrics move like a seed change — bounded, not bit-equal.
+        let ds = tiny();
+        let cfg = TrainConfig { epochs: 12, ..TrainConfig::smoke() };
+        let serial = Trainer::new(TrainConfig { threads: 1, ..cfg }).fit(&ds);
+        let parallel = Trainer::new(TrainConfig { threads: 4, ..cfg }).fit(&ds);
+        let chance = random_baseline(&ds);
+        assert!(parallel.best.ndcg(20) > chance * 2.0, "parallel run failed to learn");
+        let gap = (serial.best.ndcg(20) - parallel.best.ndcg(20)).abs();
+        assert!(
+            gap < 0.15,
+            "serial {:.4} vs parallel {:.4} NDCG@20 gap {gap:.4}",
+            serial.best.ndcg(20),
+            parallel.best.ndcg(20)
+        );
+    }
+
+    #[test]
+    fn parallel_in_batch_sampling_learns_signal() {
+        let ds = tiny();
+        let cfg = TrainConfig {
+            sampling: SamplingConfig::InBatch,
+            batch_size: 64,
+            epochs: 10,
+            threads: 3,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20) > random_baseline(&ds) * 1.5);
+    }
+
+    #[test]
+    fn parallel_cml_path_trains() {
+        // Exercises the NegSqDist branch of the sharded step.
+        let ds = tiny();
+        let cfg = TrainConfig {
+            backbone: BackboneConfig::Cml,
+            loss: LossConfig::Hinge { margin: 0.5 },
+            epochs: 6,
+            lr: 0.05,
+            threads: 2,
+            ..TrainConfig::smoke()
+        };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20).is_finite());
+        assert!(out.best.ndcg(20) > 0.0);
+    }
+
+    #[test]
+    fn auto_threads_runs() {
+        let ds = tiny();
+        let cfg = TrainConfig { epochs: 2, threads: 0, ..TrainConfig::smoke() };
+        let out = Trainer::new(cfg).fit(&ds);
+        assert!(out.best.ndcg(20).is_finite());
     }
 
     #[test]

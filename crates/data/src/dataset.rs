@@ -208,7 +208,7 @@ mod tests {
         let d = Dataset::from_pairs("mono", 10, 10, &pairs, &[]);
         let g = d.popularity_groups(5);
         let pop = d.popularity();
-        let mut means = vec![(0.0f64, 0usize); 5];
+        let mut means = [(0.0f64, 0usize); 5];
         for i in 0..10 {
             means[g[i] as usize].0 += pop[i] as f64;
             means[g[i] as usize].1 += 1;

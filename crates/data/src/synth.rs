@@ -193,9 +193,9 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
     let centres = Matrix::gaussian(cfg.n_clusters, d, 1.0, &mut rng);
     let mut item_cluster = vec![0u16; cfg.n_items];
     let mut item_f = Matrix::zeros(cfg.n_items, d);
-    for i in 0..cfg.n_items {
+    for (i, cluster) in item_cluster.iter_mut().enumerate() {
         let c = rng.gen_range(0..cfg.n_clusters);
-        item_cluster[i] = c as u16;
+        *cluster = c as u16;
         let noise = Matrix::gaussian(1, d, 0.35, &mut rng);
         for j in 0..d {
             item_f.set(i, j, centres.get(c, j) + noise.get(0, j));
@@ -247,9 +247,9 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
         let urow = user_f.row(u);
         let mut max_s = f64::NEG_INFINITY;
         let mut scores = vec![0.0f64; cfg.n_items];
-        for i in 0..cfg.n_items {
+        for (i, score) in scores.iter_mut().enumerate() {
             let s = bsl_linalg::kernels::dot(urow, item_f.row(i)) as f64 / cfg.preference_temp;
-            scores[i] = s;
+            *score = s;
             if s > max_s {
                 max_s = s;
             }

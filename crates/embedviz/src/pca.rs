@@ -27,8 +27,8 @@ pub fn pca_project(data: &Matrix, k: usize) -> Matrix {
     }
     let mut centered = Matrix::zeros(n, d);
     for r in 0..n {
-        for c in 0..d {
-            centered.set(r, c, (data.get(r, c) as f64 - mean[c]) as f32);
+        for (c, &m) in mean.iter().enumerate() {
+            centered.set(r, c, (data.get(r, c) as f64 - m) as f32);
         }
     }
     // Covariance (unnormalized — scaling does not change components).

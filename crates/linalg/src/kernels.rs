@@ -174,7 +174,7 @@ mod tests {
             b in proptest::collection::vec(-10.0f32..10.0, 4),
         ) {
             let c = cosine(&a, &b);
-            prop_assert!(c >= -1.0 - 1e-5 && c <= 1.0 + 1e-5);
+            prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
         }
 
         #[test]

@@ -133,9 +133,9 @@ mod tests {
         let out = sl.compute(&batch);
         let mut w = [0.0f32; 4];
         sl.worst_case_row(&batch, 1, &mut w);
-        for j in 0..4 {
+        for (j, &wj) in w.iter().enumerate() {
             // grad_neg = w / B with B = 3.
-            assert!((out.grad_neg[4 + j] - w[j] / 3.0).abs() < 1e-6);
+            assert!((out.grad_neg[4 + j] - wj / 3.0).abs() < 1e-6);
         }
     }
 

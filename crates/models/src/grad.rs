@@ -88,6 +88,33 @@ impl GradBuffer {
         self.user_list.is_empty() && self.item_list.is_empty()
     }
 
+    /// Adds every touched row of `other` into this buffer (marking the
+    /// rows touched here too).
+    ///
+    /// This is the reduction step of the sharded trainer: each worker
+    /// accumulates into a private buffer and the shards are merged in a
+    /// fixed order, so results are exact up to f32 addition order and
+    /// deterministic for a given shard count.
+    ///
+    /// # Panics
+    /// Panics if the two buffers have different shapes.
+    pub fn merge_from(&mut self, other: &GradBuffer) {
+        assert_eq!(self.users.shape(), other.users.shape(), "user grad shapes differ");
+        assert_eq!(self.items.shape(), other.items.shape(), "item grad shapes differ");
+        for &u in other.touched_users() {
+            let src = other.users.row(u as usize);
+            for (dst, &s) in self.user_row_mut(u).iter_mut().zip(src.iter()) {
+                *dst += s;
+            }
+        }
+        for &i in other.touched_items() {
+            let src = other.items.row(i as usize);
+            for (dst, &s) in self.item_row_mut(i).iter_mut().zip(src.iter()) {
+                *dst += s;
+            }
+        }
+    }
+
     /// Zeroes the touched rows and resets the bookkeeping.
     pub fn clear(&mut self) {
         for &u in &self.user_list {
@@ -132,6 +159,43 @@ mod tests {
         g.user_row_mut(0)[1] = 3.0;
         assert_eq!(g.users().row(0), &[0.0, 3.0]);
         assert_eq!(g.touched_users(), &[0]);
+    }
+
+    #[test]
+    fn merge_from_adds_rows_and_marks_touched() {
+        let mut a = GradBuffer::new(3, 3, 2);
+        a.user_row_mut(0)[0] = 1.0;
+        a.item_row_mut(2)[1] = 4.0;
+        let mut b = GradBuffer::new(3, 3, 2);
+        b.user_row_mut(0)[0] = 2.0; // overlaps a's touched row
+        b.user_row_mut(1)[1] = 3.0; // new row
+        b.item_row_mut(2)[1] = -1.0;
+        a.merge_from(&b);
+        assert_eq!(a.users().row(0), &[3.0, 0.0]);
+        assert_eq!(a.users().row(1), &[0.0, 3.0]);
+        assert_eq!(a.items().row(2), &[0.0, 3.0]);
+        let mut tu = a.touched_users().to_vec();
+        tu.sort_unstable();
+        assert_eq!(tu, vec![0, 1]);
+        // b is untouched by the merge.
+        assert_eq!(b.users().row(0), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_order_of_disjoint_shards_is_exact() {
+        // Shard buffers touching disjoint rows merge to the same result in
+        // any order (the trainer still fixes the order for determinism).
+        let mut main1 = GradBuffer::new(2, 1, 1);
+        let mut main2 = GradBuffer::new(2, 1, 1);
+        let mut s0 = GradBuffer::new(2, 1, 1);
+        s0.user_row_mut(0)[0] = 0.25;
+        let mut s1 = GradBuffer::new(2, 1, 1);
+        s1.user_row_mut(1)[0] = 0.5;
+        main1.merge_from(&s0);
+        main1.merge_from(&s1);
+        main2.merge_from(&s1);
+        main2.merge_from(&s0);
+        assert_eq!(main1.users().as_slice(), main2.users().as_slice());
     }
 
     #[test]

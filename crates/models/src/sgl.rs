@@ -91,6 +91,7 @@ impl Sgl {
 /// Shared auxiliary step for the two-view contrastive models: computes the
 /// InfoNCE loss/gradients on capped batch nodes, backpropagates each view's
 /// gradients through its own propagator, and accumulates into `(gu, gi)`.
+#[allow(clippy::too_many_arguments)] // internal helper mirroring the math's natural arity
 pub(crate) fn two_view_aux_step(
     v1: &View,
     v2: &View,

@@ -11,7 +11,12 @@
 pub mod alias;
 pub mod batch;
 pub mod negative;
+pub mod par_batch;
 
 pub use alias::AliasTable;
 pub use batch::{BatchIter, TrainBatch};
-pub use negative::{NegativeSampler, NoisySampler, PopularitySampler, UniformSampler};
+pub use negative::{
+    draw_rejecting, NegativeSampler, NoisySampler, PopularitySampler, UniformSampler,
+    MAX_REJECTIONS,
+};
+pub use par_batch::{epoch_batches, ParBatchIter};

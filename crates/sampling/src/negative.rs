@@ -10,6 +10,45 @@ use bsl_data::Dataset;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// Maximum rejected candidates per draw before the rejection loop bails
+/// out (see [`draw_rejecting`]).
+pub const MAX_REJECTIONS: usize = 32;
+
+/// Shared rejection loop used by every sampler: draws candidates from
+/// `draw` until one is not a training positive of `user`.
+///
+/// Two documented escape hatches keep the loop from stalling:
+///
+/// * **Dense users** (≥ half the catalogue interacted) skip rejection
+///   entirely — the very first draw is returned unchecked.
+/// * **Bailout**: after [`MAX_REJECTIONS`] rejected candidates, one final
+///   draw is taken and returned *unconditionally*. That draw may be a
+///   training positive — a deliberate, bounded false-negative leak for
+///   pathological users, which the paper's losses tolerate by design
+///   (robustness to false negatives is BSL's whole point).
+///
+/// Exactly one of these paths runs per returned item, so every call
+/// consumes at most `MAX_REJECTIONS + 1` draws from `draw`.
+pub fn draw_rejecting(
+    ds: &Dataset,
+    user: usize,
+    rng: &mut StdRng,
+    mut draw: impl FnMut(&mut StdRng) -> u32,
+) -> u32 {
+    let dense_user = ds.train.row_nnz(user) * 2 >= ds.n_items;
+    if dense_user {
+        return draw(rng);
+    }
+    for _ in 0..MAX_REJECTIONS {
+        let cand = draw(rng);
+        if !ds.train.contains(user, cand) {
+            return cand;
+        }
+    }
+    // Explicit bailout draw: accepted whatever it is.
+    draw(rng)
+}
+
 /// A source of negative items for `(user, positive)` training rows.
 pub trait NegativeSampler: Send + Sync {
     /// Appends `n` sampled item ids for `user` to `out`.
@@ -40,21 +79,8 @@ impl NegativeSampler for UniformSampler {
     fn sample_into(&self, user: u32, n: usize, rng: &mut StdRng, out: &mut Vec<u32>) {
         let u = user as usize;
         let n_items = self.ds.n_items as u32;
-        // If the user interacted with almost everything, rejection would
-        // stall; fall back to unchecked uniform draws then (the loss treats
-        // occasional false negatives gracefully — that is the whole point
-        // of the paper).
-        let dense_user = self.ds.train.row_nnz(u) * 2 >= self.ds.n_items;
         for _ in 0..n {
-            let mut guard = 0;
-            loop {
-                let cand = rng.gen_range(0..n_items);
-                if dense_user || !self.ds.train.contains(u, cand) || guard > 32 {
-                    out.push(cand);
-                    break;
-                }
-                guard += 1;
-            }
+            out.push(draw_rejecting(&self.ds, u, rng, |rng| rng.gen_range(0..n_items)));
         }
     }
 }
@@ -80,17 +106,8 @@ impl PopularitySampler {
 impl NegativeSampler for PopularitySampler {
     fn sample_into(&self, user: u32, n: usize, rng: &mut StdRng, out: &mut Vec<u32>) {
         let u = user as usize;
-        let dense_user = self.ds.train.row_nnz(u) * 2 >= self.ds.n_items;
         for _ in 0..n {
-            let mut guard = 0;
-            loop {
-                let cand = self.table.sample(rng);
-                if dense_user || !self.ds.train.contains(u, cand) || guard > 32 {
-                    out.push(cand);
-                    break;
-                }
-                guard += 1;
-            }
+            out.push(draw_rejecting(&self.ds, u, rng, |rng| self.table.sample(rng)));
         }
     }
 }
@@ -138,21 +155,12 @@ impl NegativeSampler for NoisySampler {
         let positives = self.ds.train.row_indices(u);
         let p_false = self.false_negative_prob(user);
         let n_items = self.ds.n_items as u32;
-        let dense_user = positives.len() * 2 >= self.ds.n_items;
         for _ in 0..n {
             if !positives.is_empty() && rng.gen::<f64>() < p_false {
                 // Deliberate false negative: one of the user's positives.
                 out.push(positives[rng.gen_range(0..positives.len())]);
             } else {
-                let mut guard = 0;
-                loop {
-                    let cand = rng.gen_range(0..n_items);
-                    if dense_user || !self.ds.train.contains(u, cand) || guard > 32 {
-                        out.push(cand);
-                        break;
-                    }
-                    guard += 1;
-                }
+                out.push(draw_rejecting(&self.ds, u, rng, |rng| rng.gen_range(0..n_items)));
             }
         }
     }
@@ -274,5 +282,54 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn noisy_rejects_negative_rate() {
         let _ = NoisySampler::new(ds(), -1.0);
+    }
+
+    /// A sparse user (1 positive of 10 items) whose draws *always* land on
+    /// the positive: the loop must take exactly `MAX_REJECTIONS` rejected
+    /// draws plus one explicit bailout draw, and return the positive.
+    #[test]
+    fn bailout_draw_is_explicit_and_bounded() {
+        let ds = Dataset::from_pairs("bail", 1, 10, &[(0, 3)], &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut draws = 0usize;
+        let got = draw_rejecting(&ds, 0, &mut rng, |_| {
+            draws += 1;
+            3 // always the user's positive
+        });
+        assert_eq!(got, 3, "bailout must return the final draw unconditionally");
+        assert_eq!(draws, MAX_REJECTIONS + 1, "exactly one bailout draw after the cap");
+    }
+
+    /// Dense users (≥ half the catalogue) skip rejection entirely: one
+    /// draw, returned unchecked.
+    #[test]
+    fn dense_user_short_circuits_to_one_draw() {
+        let train: Vec<(u32, u32)> = (0..5).map(|i| (0, i)).collect();
+        let ds = Dataset::from_pairs("dense", 1, 8, &train, &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut draws = 0usize;
+        let got = draw_rejecting(&ds, 0, &mut rng, |_| {
+            draws += 1;
+            0 // a positive — accepted anyway for dense users
+        });
+        assert_eq!(got, 0);
+        assert_eq!(draws, 1);
+    }
+
+    /// The common path: the first non-positive candidate is returned and
+    /// positives before it are rejected.
+    #[test]
+    fn rejection_returns_first_true_negative() {
+        let ds = Dataset::from_pairs("rej", 1, 10, &[(0, 1), (0, 2)], &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = [1u32, 2, 2, 7, 9];
+        let mut k = 0usize;
+        let got = draw_rejecting(&ds, 0, &mut rng, |_| {
+            let c = seq[k];
+            k += 1;
+            c
+        });
+        assert_eq!(got, 7, "first candidate outside the positives wins");
+        assert_eq!(k, 4);
     }
 }

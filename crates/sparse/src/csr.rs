@@ -30,7 +30,7 @@ impl Csr {
             );
         }
         let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
-        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_unstable_by_key(|t| (t.0, t.1));
 
         let mut indptr = vec![0usize; rows + 1];
         let mut indices = Vec::with_capacity(sorted.len());
@@ -204,8 +204,7 @@ impl Csr {
     pub fn scale_rows_cols(&mut self, alpha: &[f32], beta: &[f32]) {
         assert_eq!(alpha.len(), self.rows);
         assert_eq!(beta.len(), self.cols);
-        for r in 0..self.rows {
-            let a = alpha[r];
+        for (r, &a) in alpha.iter().enumerate() {
             let start = self.indptr[r];
             let end = self.indptr[r + 1];
             for k in start..end {

@@ -54,8 +54,25 @@ impl Criterion {
         self
     }
 
-    /// No-op in the shim (the real crate reads CLI flags here).
+    /// Applies CLI flags. The shim understands one flag of its own:
+    /// `--quick-smoke` shrinks every benchmark to a 2-sample, ~100 ms
+    /// run — CI uses it to prove the bench targets execute end to end
+    /// without paying measurement-quality time. All other flags (e.g. the
+    /// `--bench` cargo appends) are accepted and ignored, like the real
+    /// crate's unknown-flag tolerance.
     pub fn configure_from_args(self) -> Self {
+        self.configure_from(std::env::args().skip(1))
+    }
+
+    /// Testable core of [`Criterion::configure_from_args`].
+    fn configure_from(mut self, args: impl Iterator<Item = String>) -> Self {
+        for arg in args {
+            if arg == "--quick-smoke" {
+                self.sample_size = 2;
+                self.measurement_time = Duration::from_millis(100);
+                self.warm_up_time = Duration::from_millis(20);
+            }
+        }
         self
     }
 
@@ -201,5 +218,20 @@ mod tests {
     #[test]
     fn group_macro_compiles_and_runs() {
         group_smoke();
+    }
+
+    #[test]
+    fn quick_smoke_flag_shrinks_the_run() {
+        let c = Criterion::default()
+            .configure_from(["--bench".to_string(), "--quick-smoke".to_string()].into_iter());
+        assert_eq!(c.sample_size, 2);
+        assert_eq!(c.measurement_time, Duration::from_millis(100));
+        assert_eq!(c.warm_up_time, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let c = Criterion::default().configure_from(["--bench".to_string()].into_iter());
+        assert_eq!(c.sample_size, Criterion::default().sample_size);
     }
 }
