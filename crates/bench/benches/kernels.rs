@@ -1,15 +1,34 @@
 //! Vector-kernel microbenchmarks (the inner loops of scoring/backprop).
+//!
+//! The `*_scalar` variants pin [`SimdLevel::Scalar`] explicitly, so one
+//! bench run records the dispatched-vs-reference speedup in place; the
+//! blocked benches (`scores_block_*`, `normalize_rows_*`,
+//! `cosine_backward_block_*`) cover the batch kernels the trainer and
+//! evaluator hot paths run on. SpMM before/after lives in the
+//! `propagation` bench (`spmm_yelp_d64`) — compare the committed
+//! BENCHMARKS.md across PRs for that one.
 
-use bsl_linalg::kernels::{cosine_backward_into, dot, normalize_into};
+use bsl_linalg::kernels::{axpy, cosine_backward_into, dot, normalize_into};
+use bsl_linalg::simd::{self, cosine_backward_block, normalize_rows_into, scores_block, SimdLevel};
+use bsl_linalg::Matrix;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_kernels(c: &mut Criterion) {
     let d = 64usize;
+    let m = 64usize;
     let a: Vec<f32> = (0..d).map(|i| (i as f32 * 0.37).sin()).collect();
     let b: Vec<f32> = (0..d).map(|i| (i as f32 * 0.53).cos()).collect();
     let mut out = vec![0.0f32; d];
 
+    println!("simd dispatch: {}", simd::active());
+
     c.bench_function("dot_d64", |bench| bench.iter(|| dot(black_box(&a), black_box(&b))));
+    c.bench_function("dot_d64_scalar", |bench| {
+        bench.iter(|| simd::dot_with(SimdLevel::Scalar, black_box(&a), black_box(&b)))
+    });
+    c.bench_function("axpy_d64", |bench| {
+        bench.iter(|| axpy(black_box(0.1), black_box(&a), black_box(&mut out)))
+    });
     c.bench_function("normalize_d64", |bench| {
         bench.iter(|| normalize_into(black_box(&a), black_box(&mut out)))
     });
@@ -29,6 +48,57 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(an),
                 black_box(&mut grad),
             )
+        })
+    });
+    c.bench_function("cosine_backward_d64_scalar", |bench| {
+        let mut ahat = vec![0.0f32; d];
+        let mut bhat = vec![0.0f32; d];
+        let an = normalize_into(&a, &mut ahat);
+        normalize_into(&b, &mut bhat);
+        let s = dot(&ahat, &bhat);
+        let mut grad = vec![0.0f32; d];
+        bench.iter(|| {
+            simd::cosine_backward_into_with(
+                SimdLevel::Scalar,
+                black_box(0.1),
+                black_box(s),
+                black_box(&ahat),
+                black_box(&bhat),
+                black_box(an),
+                black_box(&mut grad),
+            )
+        })
+    });
+
+    // Blocked kernels: one user row against an m-row item block (the
+    // sampled-softmax inner loop) and whole-matrix row normalization (the
+    // evaluator's pre-pass).
+    let block: Vec<f32> = (0..m * d).map(|i| (i as f32 * 0.211).sin()).collect();
+    let mut scores = vec![0.0f32; m];
+    c.bench_function("scores_block_d64_m64", |bench| {
+        bench.iter(|| scores_block(black_box(&a), black_box(&block), black_box(&mut scores)))
+    });
+    c.bench_function("cosine_backward_block_d64_m64", |bench| {
+        let gs: Vec<f32> = (0..m).map(|j| 0.01 * j as f32 - 0.3).collect();
+        let ss: Vec<f32> = (0..m).map(|j| 0.013 * j as f32 - 0.4).collect();
+        let mut grad = vec![0.0f32; d];
+        bench.iter(|| {
+            cosine_backward_block(
+                black_box(&gs),
+                black_box(&ss),
+                black_box(&a),
+                black_box(1.1),
+                black_box(&block),
+                black_box(&mut grad),
+            )
+        })
+    });
+    let rows = Matrix::from_fn(512, d, |r, cix| ((r * 31 + cix * 7) % 13) as f32 * 0.2 - 1.0);
+    let mut unit = Matrix::zeros(512, d);
+    let mut norms = vec![0.0f32; 512];
+    c.bench_function("normalize_rows_512_d64", |bench| {
+        bench.iter(|| {
+            normalize_rows_into(black_box(&rows), black_box(&mut unit), black_box(&mut norms))
         })
     });
 }

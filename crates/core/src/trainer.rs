@@ -4,6 +4,7 @@ use crate::config::{SamplingConfig, TrainConfig};
 use bsl_data::Dataset;
 use bsl_eval::{evaluate, EvalReport, ScoreKind};
 use bsl_linalg::kernels::{axpy, cosine_backward_into, dot, normalize_into, sq_dist};
+use bsl_linalg::simd::{cosine_backward_block, normalize_gather_into, scores_block};
 use bsl_linalg::Matrix;
 use bsl_losses::{build as build_loss, RankingLoss, ScoreBatch};
 use bsl_models::cml::euclidean_rank_embeddings;
@@ -90,16 +91,64 @@ fn row_chunks(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     (0..n).step_by(chunk.max(1)).map(|s| s..(s + chunk).min(n)).collect()
 }
 
-/// Reusable per-row score scratch (unit vectors and norms).
-struct ScoreScratch {
-    /// Unit user vectors, `B × d`.
-    user_hat: Matrix,
+/// Reusable step scratch: unit vectors, norms, scores and the in-batch
+/// similarity matrix, all as flat row-major buffers. Sizing is
+/// grow-only (every consumer slices the exact `[..b*…]` extent it needs),
+/// so after the first full-sized batch no step re-zeroes or reallocates —
+/// trailing partial batches and later epochs reuse the same storage.
+///
+/// `neg_hat`/`neg_norms` cache every negative's unit vector for the whole
+/// batch (`B·m·d` floats) so the gradient pass reuses them instead of
+/// re-normalizing — the blocked kernels then see contiguous item blocks.
+/// They are only sized on the cosine scoring path; distance-scored
+/// backbones (CML) never touch them.
+#[derive(Default)]
+struct StepScratch {
+    /// Unit user vectors, `B × d` flat.
+    user_hat: Vec<f32>,
     user_norm: Vec<f32>,
-    /// Unit positive-item vectors, `B × d`.
-    pos_hat: Matrix,
+    /// Unit positive-item vectors, `B × d` flat.
+    pos_hat: Vec<f32>,
     pos_norm: Vec<f32>,
     pos_scores: Vec<f32>,
     neg_scores: Vec<f32>,
+    /// Unit negative-item vectors, `B × m × d` flat (sampled path only).
+    neg_hat: Vec<f32>,
+    neg_norms: Vec<f32>,
+    /// `B × B` cosine similarities (in-batch path only).
+    sims: Vec<f32>,
+}
+
+/// Grows `v` to at least `n` elements (never shrinks).
+fn grow(v: &mut Vec<f32>, n: usize) {
+    if v.len() < n {
+        v.resize(n, 0.0);
+    }
+}
+
+impl StepScratch {
+    fn ensure_sampled(&mut self, b: usize, m: usize, d: usize, cache_negs: bool) {
+        grow(&mut self.user_hat, b * d);
+        grow(&mut self.user_norm, b);
+        grow(&mut self.pos_hat, b * d);
+        grow(&mut self.pos_norm, b);
+        grow(&mut self.pos_scores, b);
+        grow(&mut self.neg_scores, b * m);
+        if cache_negs {
+            grow(&mut self.neg_hat, b * m * d);
+            grow(&mut self.neg_norms, b * m);
+        }
+    }
+
+    fn ensure_in_batch(&mut self, b: usize, d: usize) {
+        grow(&mut self.user_hat, b * d);
+        grow(&mut self.user_norm, b);
+        grow(&mut self.pos_hat, b * d);
+        grow(&mut self.pos_norm, b);
+        grow(&mut self.pos_scores, b);
+        grow(&mut self.neg_scores, b * (b - 1));
+        grow(&mut self.sims, b * b);
+    }
 }
 
 impl Trainer {
@@ -153,6 +202,7 @@ impl Trainer {
             Vec::new()
         };
         let hyper = Hyper { lr: cfg.lr, l2: cfg.l2 };
+        let mut scratch = StepScratch::default();
 
         let mut history = Vec::new();
         let mut eval_history = Vec::new();
@@ -178,6 +228,7 @@ impl Trainer {
                         loss.as_ref(),
                         &batch,
                         &mut grads,
+                        &mut scratch,
                         hyper,
                         &mut rng,
                     ),
@@ -187,6 +238,7 @@ impl Trainer {
                         &batch,
                         &mut grads,
                         &mut shard_grads,
+                        &mut scratch,
                         hyper,
                         &mut rng,
                     ),
@@ -195,6 +247,7 @@ impl Trainer {
                         loss.as_ref(),
                         &batch,
                         &mut grads,
+                        &mut scratch,
                         hyper,
                         &mut rng,
                     ),
@@ -204,6 +257,7 @@ impl Trainer {
                         &batch,
                         &mut grads,
                         &mut shard_grads,
+                        &mut scratch,
                         hyper,
                         &mut rng,
                     ),
@@ -258,12 +312,20 @@ impl Trainer {
     }
 
     /// One optimizer step with explicitly-sampled negatives.
+    ///
+    /// Pass 1 normalizes each row's negatives into a contiguous `m × d`
+    /// block (cached in `scratch` for pass 2, so every negative is
+    /// normalized exactly once) and scores it with one blocked matvec;
+    /// pass 2 chains the user-side gradient through one
+    /// [`cosine_backward_block`] per row.
+    #[allow(clippy::too_many_arguments)] // the step signature mirrors the trainer state
     fn step_sampled(
         &self,
         backbone: &mut dyn Backbone,
         loss: &dyn RankingLoss,
         batch: &TrainBatch,
         grads: &mut GradBuffer,
+        scratch: &mut StepScratch,
         hyper: Hyper,
         rng: &mut StdRng,
     ) -> (f64, f64) {
@@ -273,33 +335,33 @@ impl Trainer {
         let score_kind = backbone.train_score();
         let users = backbone.user_factors();
         let items = backbone.item_factors();
+        scratch.ensure_sampled(b, m, d, score_kind == TrainScore::Cosine);
 
-        // Pass 1 — scores (cache user/pos unit vectors; negatives are
-        // re-normalized in pass 2 to keep memory O(B·d), not O(B·m·d)).
-        let mut scratch = ScoreScratch {
-            user_hat: Matrix::zeros(b, d),
-            user_norm: vec![0.0; b],
-            pos_hat: Matrix::zeros(b, d),
-            pos_norm: vec![0.0; b],
-            pos_scores: vec![0.0; b],
-            neg_scores: vec![0.0; b * m],
-        };
-        let mut jhat = vec![0.0f32; d];
+        // Pass 1 — scores.
         for row in 0..b {
             let u = batch.users[row] as usize;
             let i = batch.pos[row] as usize;
             match score_kind {
                 TrainScore::Cosine => {
                     scratch.user_norm[row] =
-                        normalize_into(users.row(u), scratch.user_hat.row_mut(row));
+                        normalize_into(users.row(u), &mut scratch.user_hat[row * d..(row + 1) * d]);
                     scratch.pos_norm[row] =
-                        normalize_into(items.row(i), scratch.pos_hat.row_mut(row));
-                    scratch.pos_scores[row] =
-                        dot(scratch.user_hat.row(row), scratch.pos_hat.row(row));
-                    for (jj, &j) in batch.negs_of(row).iter().enumerate() {
-                        normalize_into(items.row(j as usize), &mut jhat);
-                        scratch.neg_scores[row * m + jj] = dot(scratch.user_hat.row(row), &jhat);
-                    }
+                        normalize_into(items.row(i), &mut scratch.pos_hat[row * d..(row + 1) * d]);
+                    scratch.pos_scores[row] = dot(
+                        &scratch.user_hat[row * d..(row + 1) * d],
+                        &scratch.pos_hat[row * d..(row + 1) * d],
+                    );
+                    normalize_gather_into(
+                        items,
+                        batch.negs_of(row),
+                        &mut scratch.neg_hat[row * m * d..(row + 1) * m * d],
+                        &mut scratch.neg_norms[row * m..(row + 1) * m],
+                    );
+                    scores_block(
+                        &scratch.user_hat[row * d..(row + 1) * d],
+                        &scratch.neg_hat[row * m * d..(row + 1) * m * d],
+                        &mut scratch.neg_scores[row * m..(row + 1) * m],
+                    );
                 }
                 TrainScore::NegSqDist => {
                     scratch.pos_scores[row] = -sq_dist(users.row(u), items.row(i));
@@ -311,7 +373,11 @@ impl Trainer {
             }
         }
 
-        let out = loss.compute(&ScoreBatch::new(&scratch.pos_scores, &scratch.neg_scores, m));
+        let out = loss.compute(&ScoreBatch::new(
+            &scratch.pos_scores[..b],
+            &scratch.neg_scores[..b * m],
+            m,
+        ));
 
         // Pass 2 — chain score gradients into embedding gradients.
         for row in 0..b {
@@ -319,70 +385,75 @@ impl Trainer {
             let i = batch.pos[row];
             match score_kind {
                 TrainScore::Cosine => {
-                    let uhat = scratch.user_hat.row(row).to_vec();
-                    let ihat = scratch.pos_hat.row(row).to_vec();
+                    let uhat = &scratch.user_hat[row * d..(row + 1) * d];
+                    let ihat = &scratch.pos_hat[row * d..(row + 1) * d];
                     let g = out.grad_pos[row];
                     let s = scratch.pos_scores[row];
                     cosine_backward_into(
                         g,
                         s,
-                        &uhat,
-                        &ihat,
+                        uhat,
+                        ihat,
                         scratch.user_norm[row],
                         grads.user_row_mut(u),
                     );
                     cosine_backward_into(
                         g,
                         s,
-                        &ihat,
-                        &uhat,
+                        ihat,
+                        uhat,
                         scratch.pos_norm[row],
                         grads.item_row_mut(i),
                     );
+                    let gs = &out.grad_neg[row * m..(row + 1) * m];
+                    let ss = &scratch.neg_scores[row * m..(row + 1) * m];
+                    let nh = &scratch.neg_hat[row * m * d..(row + 1) * m * d];
+                    let nn = &scratch.neg_norms[row * m..(row + 1) * m];
+                    cosine_backward_block(
+                        gs,
+                        ss,
+                        uhat,
+                        scratch.user_norm[row],
+                        nh,
+                        grads.user_row_mut(u),
+                    );
                     for (jj, &j) in batch.negs_of(row).iter().enumerate() {
-                        let g = out.grad_neg[row * m + jj];
+                        let g = gs[jj];
                         if g == 0.0 {
                             continue;
                         }
-                        let s = scratch.neg_scores[row * m + jj];
-                        let jn = normalize_into(backbone.item_factors().row(j as usize), &mut jhat);
                         cosine_backward_into(
                             g,
-                            s,
-                            &uhat,
-                            &jhat,
-                            scratch.user_norm[row],
-                            grads.user_row_mut(u),
+                            ss[jj],
+                            &nh[jj * d..(jj + 1) * d],
+                            uhat,
+                            nn[jj],
+                            grads.item_row_mut(j),
                         );
-                        cosine_backward_into(g, s, &jhat, &uhat, jn, grads.item_row_mut(j));
                     }
                 }
                 TrainScore::NegSqDist => {
                     // s = −||u−i||² ⇒ ∂s/∂u = 2(i−u), ∂s/∂i = 2(u−i).
-                    let urow = backbone.user_factors().row(u as usize).to_vec();
-                    let apply = |g: f32,
-                                 item: u32,
-                                 grads: &mut GradBuffer,
-                                 backbone: &dyn Backbone,
-                                 urow: &[f32]| {
+                    let urow = users.row(u as usize);
+                    let apply = |g: f32, item: u32, grads: &mut GradBuffer| {
                         if g == 0.0 {
                             return;
                         }
-                        let irow = backbone.item_factors().row(item as usize).to_vec();
+                        let irow = items.row(item as usize);
                         {
-                            let gu = grads.user_row_mut(batch.users[row]);
-                            axpy(2.0 * g, &irow, gu);
+                            let gu = grads.user_row_mut(u);
+                            axpy(2.0 * g, irow, gu);
                             axpy(-2.0 * g, urow, gu);
                         }
                         {
                             let gi = grads.item_row_mut(item);
                             axpy(2.0 * g, urow, gi);
-                            axpy(-2.0 * g, &irow, gi);
+                            axpy(-2.0 * g, irow, gi);
                         }
                     };
-                    apply(out.grad_pos[row], i, grads, backbone, &urow);
+                    apply(out.grad_pos[row], i, grads);
                     for (jj, &j) in batch.negs_of(row).iter().enumerate() {
-                        apply(out.grad_neg[row * m + jj], j, grads, backbone, &urow);
+                        apply(out.grad_neg[row * m + jj], j, grads);
                     }
                 }
             }
@@ -408,6 +479,7 @@ impl Trainer {
         batch: &TrainBatch,
         grads: &mut GradBuffer,
         shard_grads: &mut [GradBuffer],
+        scratch: &mut StepScratch,
         hyper: Hyper,
         rng: &mut StdRng,
     ) -> (f64, f64) {
@@ -418,22 +490,24 @@ impl Trainer {
         let users = backbone.user_factors();
         let items = backbone.item_factors();
         let chunks = row_chunks(b, shard_grads.len());
+        let cache_negs = score_kind == TrainScore::Cosine;
+        scratch.ensure_sampled(b, m, d, cache_negs);
 
-        let mut user_hat = vec![0.0f32; b * d];
-        let mut user_norm = vec![0.0f32; b];
-        let mut pos_hat = vec![0.0f32; b * d];
-        let mut pos_norm = vec![0.0f32; b];
-        let mut pos_scores = vec![0.0f32; b];
-        let mut neg_scores = vec![0.0f32; b * m];
-
-        // Pass 1 — scores, row-sharded into disjoint scratch slices.
+        // Pass 1 — scores, row-sharded into disjoint scratch slices; each
+        // shard normalizes its negative blocks once (cached for pass 2)
+        // and scores them with blocked matvecs. The distance-scored path
+        // carves empty `nh`/`nn` slices — it never reads them.
         std::thread::scope(|scope| {
-            let mut uh_rest = user_hat.as_mut_slice();
-            let mut un_rest = user_norm.as_mut_slice();
-            let mut ph_rest = pos_hat.as_mut_slice();
-            let mut pn_rest = pos_norm.as_mut_slice();
-            let mut ps_rest = pos_scores.as_mut_slice();
-            let mut ns_rest = neg_scores.as_mut_slice();
+            let mut uh_rest = &mut scratch.user_hat[..b * d];
+            let mut un_rest = &mut scratch.user_norm[..b];
+            let mut ph_rest = &mut scratch.pos_hat[..b * d];
+            let mut pn_rest = &mut scratch.pos_norm[..b];
+            let mut ps_rest = &mut scratch.pos_scores[..b];
+            let mut ns_rest = &mut scratch.neg_scores[..b * m];
+            let mut nh_rest: &mut [f32] =
+                if cache_negs { &mut scratch.neg_hat[..b * m * d] } else { &mut [] };
+            let mut nn_rest: &mut [f32] =
+                if cache_negs { &mut scratch.neg_norms[..b * m] } else { &mut [] };
             for range in &chunks {
                 let rows = range.len();
                 let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
@@ -448,9 +522,20 @@ impl Trainer {
                 ps_rest = r;
                 let (ns, r) = std::mem::take(&mut ns_rest).split_at_mut(rows * m);
                 ns_rest = r;
+                let (nh, r) = std::mem::take(&mut nh_rest).split_at_mut(if cache_negs {
+                    rows * m * d
+                } else {
+                    0
+                });
+                nh_rest = r;
+                let (nn, r) = std::mem::take(&mut nn_rest).split_at_mut(if cache_negs {
+                    rows * m
+                } else {
+                    0
+                });
+                nn_rest = r;
                 let range = range.clone();
                 scope.spawn(move || {
-                    let mut jhat = vec![0.0f32; d];
                     for (li, row) in range.enumerate() {
                         let u = batch.users[row] as usize;
                         let i = batch.pos[row] as usize;
@@ -461,10 +546,17 @@ impl Trainer {
                                 pn[li] =
                                     normalize_into(items.row(i), &mut ph[li * d..(li + 1) * d]);
                                 ps[li] = dot(&uh[li * d..(li + 1) * d], &ph[li * d..(li + 1) * d]);
-                                for (jj, &j) in batch.negs_of(row).iter().enumerate() {
-                                    normalize_into(items.row(j as usize), &mut jhat);
-                                    ns[li * m + jj] = dot(&uh[li * d..(li + 1) * d], &jhat);
-                                }
+                                normalize_gather_into(
+                                    items,
+                                    batch.negs_of(row),
+                                    &mut nh[li * m * d..(li + 1) * m * d],
+                                    &mut nn[li * m..(li + 1) * m],
+                                );
+                                scores_block(
+                                    &uh[li * d..(li + 1) * d],
+                                    &nh[li * m * d..(li + 1) * m * d],
+                                    &mut ns[li * m..(li + 1) * m],
+                                );
                             }
                             TrainScore::NegSqDist => {
                                 ps[li] = -sq_dist(users.row(u), items.row(i));
@@ -478,22 +570,28 @@ impl Trainer {
             }
         });
 
-        let out = loss.compute(&ScoreBatch::new(&pos_scores, &neg_scores, m));
+        let out = loss.compute(&ScoreBatch::new(
+            &scratch.pos_scores[..b],
+            &scratch.neg_scores[..b * m],
+            m,
+        ));
 
         // Pass 2 — chain score gradients into per-shard embedding
-        // gradients (private buffers, no write contention).
+        // gradients (private buffers, no write contention); negative unit
+        // vectors come from the pass-1 cache.
         std::thread::scope(|scope| {
             let out = &out;
-            let user_hat = &user_hat;
-            let user_norm = &user_norm;
-            let pos_hat = &pos_hat;
-            let pos_norm = &pos_norm;
-            let pos_scores = &pos_scores;
-            let neg_scores = &neg_scores;
+            let user_hat = &scratch.user_hat;
+            let user_norm = &scratch.user_norm;
+            let pos_hat = &scratch.pos_hat;
+            let pos_norm = &scratch.pos_norm;
+            let pos_scores = &scratch.pos_scores;
+            let neg_scores = &scratch.neg_scores;
+            let neg_hat = &scratch.neg_hat;
+            let neg_norms = &scratch.neg_norms;
             for (range, gbuf) in chunks.iter().zip(shard_grads.iter_mut()) {
                 let range = range.clone();
                 scope.spawn(move || {
-                    let mut jhat = vec![0.0f32; d];
                     for row in range {
                         let u = batch.users[row];
                         let i = batch.pos[row];
@@ -519,27 +617,29 @@ impl Trainer {
                                     pos_norm[row],
                                     gbuf.item_row_mut(i),
                                 );
+                                let gs = &out.grad_neg[row * m..(row + 1) * m];
+                                let ss = &neg_scores[row * m..(row + 1) * m];
+                                let nh = &neg_hat[row * m * d..(row + 1) * m * d];
+                                let nn = &neg_norms[row * m..(row + 1) * m];
+                                cosine_backward_block(
+                                    gs,
+                                    ss,
+                                    uhat,
+                                    user_norm[row],
+                                    nh,
+                                    gbuf.user_row_mut(u),
+                                );
                                 for (jj, &j) in batch.negs_of(row).iter().enumerate() {
-                                    let g = out.grad_neg[row * m + jj];
+                                    let g = gs[jj];
                                     if g == 0.0 {
                                         continue;
                                     }
-                                    let s = neg_scores[row * m + jj];
-                                    let jn = normalize_into(items.row(j as usize), &mut jhat);
                                     cosine_backward_into(
                                         g,
-                                        s,
+                                        ss[jj],
+                                        &nh[jj * d..(jj + 1) * d],
                                         uhat,
-                                        &jhat,
-                                        user_norm[row],
-                                        gbuf.user_row_mut(u),
-                                    );
-                                    cosine_backward_into(
-                                        g,
-                                        s,
-                                        &jhat,
-                                        uhat,
-                                        jn,
+                                        nn[jj],
                                         gbuf.item_row_mut(j),
                                     );
                                 }
@@ -586,12 +686,19 @@ impl Trainer {
 
     /// One optimizer step with in-batch shared negatives: row `b`'s
     /// negatives are the other rows' positive items (paper Table V).
+    ///
+    /// Normalization is one blocked gather per side, every similarity row
+    /// is one blocked matvec, and the user-side backward runs
+    /// [`cosine_backward_block`] on the two contiguous item-block halves
+    /// on either side of the diagonal.
+    #[allow(clippy::too_many_arguments)] // the step signature mirrors the trainer state
     fn step_in_batch(
         &self,
         backbone: &mut dyn Backbone,
         loss: &dyn RankingLoss,
         batch: &TrainBatch,
         grads: &mut GradBuffer,
+        scratch: &mut StepScratch,
         hyper: Hyper,
         rng: &mut StdRng,
     ) -> (f64, f64) {
@@ -601,70 +708,107 @@ impl Trainer {
         debug_assert_eq!(backbone.train_score(), TrainScore::Cosine, "in-batch assumes cosine");
         let users = backbone.user_factors();
         let items = backbone.item_factors();
+        scratch.ensure_in_batch(b, d);
 
-        // Normalize each row's user and positive item once.
-        let mut user_hat = Matrix::zeros(b, d);
-        let mut item_hat = Matrix::zeros(b, d);
-        let mut user_norm = vec![0.0f32; b];
-        let mut item_norm = vec![0.0f32; b];
-        for row in 0..b {
-            user_norm[row] =
-                normalize_into(users.row(batch.users[row] as usize), user_hat.row_mut(row));
-            item_norm[row] =
-                normalize_into(items.row(batch.pos[row] as usize), item_hat.row_mut(row));
-        }
+        // Normalize each row's user and positive item once (blocked
+        // gather; `pos_hat`/`pos_norm` hold the item side).
+        normalize_gather_into(
+            users,
+            &batch.users,
+            &mut scratch.user_hat[..b * d],
+            &mut scratch.user_norm[..b],
+        );
+        normalize_gather_into(
+            items,
+            &batch.pos,
+            &mut scratch.pos_hat[..b * d],
+            &mut scratch.pos_norm[..b],
+        );
         // Full similarity matrix: S[a][c] = cos(user_a, item_c).
-        let mut sims = Matrix::zeros(b, b);
         for a in 0..b {
-            let ua = user_hat.row(a).to_vec();
-            let dst = sims.row_mut(a);
-            for (c, slot) in dst.iter_mut().enumerate() {
-                *slot = dot(&ua, item_hat.row(c));
-            }
+            scores_block(
+                &scratch.user_hat[a * d..(a + 1) * d],
+                &scratch.pos_hat[..b * d],
+                &mut scratch.sims[a * b..(a + 1) * b],
+            );
         }
-        let mut pos_scores = vec![0.0f32; b];
-        let mut neg_scores = vec![0.0f32; b * m];
         for a in 0..b {
-            pos_scores[a] = sims.get(a, a);
+            scratch.pos_scores[a] = scratch.sims[a * b + a];
             let mut jj = 0;
             for c in 0..b {
                 if c != a {
-                    neg_scores[a * m + jj] = sims.get(a, c);
+                    scratch.neg_scores[a * m + jj] = scratch.sims[a * b + c];
                     jj += 1;
                 }
             }
         }
-        let out = loss.compute(&ScoreBatch::new(&pos_scores, &neg_scores, m));
+        let out = loss.compute(&ScoreBatch::new(
+            &scratch.pos_scores[..b],
+            &scratch.neg_scores[..b * m],
+            m,
+        ));
 
         // Chain gradients back; the column item of slot (a, jj) is row c.
         for a in 0..b {
-            let ua = user_hat.row(a).to_vec();
+            let ua = &scratch.user_hat[a * d..(a + 1) * d];
+            let ia = &scratch.pos_hat[a * d..(a + 1) * d];
             let g = out.grad_pos[a];
-            let s = pos_scores[a];
-            let ia = item_hat.row(a).to_vec();
-            cosine_backward_into(g, s, &ua, &ia, user_norm[a], grads.user_row_mut(batch.users[a]));
-            cosine_backward_into(g, s, &ia, &ua, item_norm[a], grads.item_row_mut(batch.pos[a]));
+            let s = scratch.pos_scores[a];
+            cosine_backward_into(
+                g,
+                s,
+                ua,
+                ia,
+                scratch.user_norm[a],
+                grads.user_row_mut(batch.users[a]),
+            );
+            cosine_backward_into(
+                g,
+                s,
+                ia,
+                ua,
+                scratch.pos_norm[a],
+                grads.item_row_mut(batch.pos[a]),
+            );
+            // Slots 0..a map to item rows 0..a and slots a.. to rows
+            // a+1..b — two contiguous halves around the diagonal.
+            let gs = &out.grad_neg[a * m..(a + 1) * m];
+            let ss = &scratch.neg_scores[a * m..(a + 1) * m];
+            cosine_backward_block(
+                &gs[..a],
+                &ss[..a],
+                ua,
+                scratch.user_norm[a],
+                &scratch.pos_hat[..a * d],
+                grads.user_row_mut(batch.users[a]),
+            );
+            cosine_backward_block(
+                &gs[a..],
+                &ss[a..],
+                ua,
+                scratch.user_norm[a],
+                &scratch.pos_hat[(a + 1) * d..b * d],
+                grads.user_row_mut(batch.users[a]),
+            );
             let mut jj = 0;
-            for (c, &c_norm) in item_norm.iter().enumerate() {
+            for c in 0..b {
                 if c == a {
                     continue;
                 }
-                let g = out.grad_neg[a * m + jj];
-                let s = neg_scores[a * m + jj];
+                let g = gs[jj];
+                let s = ss[jj];
                 jj += 1;
                 if g == 0.0 {
                     continue;
                 }
-                let ic = item_hat.row(c).to_vec();
                 cosine_backward_into(
                     g,
                     s,
-                    &ua,
-                    &ic,
-                    user_norm[a],
-                    grads.user_row_mut(batch.users[a]),
+                    &scratch.pos_hat[c * d..(c + 1) * d],
+                    ua,
+                    scratch.pos_norm[c],
+                    grads.item_row_mut(batch.pos[c]),
                 );
-                cosine_backward_into(g, s, &ic, &ua, c_norm, grads.item_row_mut(batch.pos[c]));
             }
         }
 
@@ -687,6 +831,7 @@ impl Trainer {
         batch: &TrainBatch,
         grads: &mut GradBuffer,
         shard_grads: &mut [GradBuffer],
+        scratch: &mut StepScratch,
         hyper: Hyper,
         rng: &mut StdRng,
     ) -> (f64, f64) {
@@ -697,17 +842,16 @@ impl Trainer {
         let users = backbone.user_factors();
         let items = backbone.item_factors();
         let chunks = row_chunks(b, shard_grads.len());
+        scratch.ensure_in_batch(b, d);
 
-        // Normalize each row's user and positive item once, row-sharded.
-        let mut user_hat = vec![0.0f32; b * d];
-        let mut item_hat = vec![0.0f32; b * d];
-        let mut user_norm = vec![0.0f32; b];
-        let mut item_norm = vec![0.0f32; b];
+        // Normalize each row's user and positive item once, row-sharded
+        // (blocked gather per shard; `pos_hat`/`pos_norm` hold the item
+        // side).
         std::thread::scope(|scope| {
-            let mut uh_rest = user_hat.as_mut_slice();
-            let mut ih_rest = item_hat.as_mut_slice();
-            let mut un_rest = user_norm.as_mut_slice();
-            let mut in_rest = item_norm.as_mut_slice();
+            let mut uh_rest = &mut scratch.user_hat[..b * d];
+            let mut ih_rest = &mut scratch.pos_hat[..b * d];
+            let mut un_rest = &mut scratch.user_norm[..b];
+            let mut in_rest = &mut scratch.pos_norm[..b];
             for range in &chunks {
                 let rows = range.len();
                 let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
@@ -720,67 +864,62 @@ impl Trainer {
                 in_rest = r;
                 let range = range.clone();
                 scope.spawn(move || {
-                    for (li, row) in range.enumerate() {
-                        un[li] = normalize_into(
-                            users.row(batch.users[row] as usize),
-                            &mut uh[li * d..(li + 1) * d],
-                        );
-                        inorm[li] = normalize_into(
-                            items.row(batch.pos[row] as usize),
-                            &mut ih[li * d..(li + 1) * d],
-                        );
-                    }
+                    normalize_gather_into(users, &batch.users[range.clone()], uh, un);
+                    normalize_gather_into(items, &batch.pos[range], ih, inorm);
                 });
             }
         });
 
         // Full similarity matrix S[a][c] = cos(user_a, item_c), by row
-        // chunks (every worker reads all of item_hat).
-        let mut sims = vec![0.0f32; b * b];
+        // chunks (every worker reads all of the item block) — one blocked
+        // matvec per user row.
         std::thread::scope(|scope| {
-            let user_hat = &user_hat;
-            let item_hat = &item_hat;
-            let mut s_rest = sims.as_mut_slice();
+            let user_hat = &scratch.user_hat;
+            let item_hat = &scratch.pos_hat[..b * d];
+            let mut s_rest = &mut scratch.sims[..b * b];
             for range in &chunks {
                 let (srows, r) = std::mem::take(&mut s_rest).split_at_mut(range.len() * b);
                 s_rest = r;
                 let range = range.clone();
                 scope.spawn(move || {
                     for (li, a) in range.enumerate() {
-                        let ua = &user_hat[a * d..(a + 1) * d];
-                        for (c, slot) in srows[li * b..(li + 1) * b].iter_mut().enumerate() {
-                            *slot = dot(ua, &item_hat[c * d..(c + 1) * d]);
-                        }
+                        scores_block(
+                            &user_hat[a * d..(a + 1) * d],
+                            item_hat,
+                            &mut srows[li * b..(li + 1) * b],
+                        );
                     }
                 });
             }
         });
 
-        let mut pos_scores = vec![0.0f32; b];
-        let mut neg_scores = vec![0.0f32; b * m];
         for a in 0..b {
-            pos_scores[a] = sims[a * b + a];
+            scratch.pos_scores[a] = scratch.sims[a * b + a];
             let mut jj = 0;
             for c in 0..b {
                 if c != a {
-                    neg_scores[a * m + jj] = sims[a * b + c];
+                    scratch.neg_scores[a * m + jj] = scratch.sims[a * b + c];
                     jj += 1;
                 }
             }
         }
-        let out = loss.compute(&ScoreBatch::new(&pos_scores, &neg_scores, m));
+        let out = loss.compute(&ScoreBatch::new(
+            &scratch.pos_scores[..b],
+            &scratch.neg_scores[..b * m],
+            m,
+        ));
 
         // Gradient pass, row-sharded into private buffers; the column item
         // of slot (a, jj) is row c, which may belong to another shard —
         // hence per-shard accumulation instead of in-place writes.
         std::thread::scope(|scope| {
             let out = &out;
-            let user_hat = &user_hat;
-            let item_hat = &item_hat;
-            let user_norm = &user_norm;
-            let item_norm = &item_norm;
-            let pos_scores = &pos_scores;
-            let neg_scores = &neg_scores;
+            let user_hat = &scratch.user_hat;
+            let item_hat = &scratch.pos_hat;
+            let user_norm = &scratch.user_norm;
+            let item_norm = &scratch.pos_norm;
+            let pos_scores = &scratch.pos_scores;
+            let neg_scores = &scratch.neg_scores;
             for (range, gbuf) in chunks.iter().zip(shard_grads.iter_mut()) {
                 let range = range.clone();
                 scope.spawn(move || {
@@ -805,32 +944,43 @@ impl Trainer {
                             item_norm[a],
                             gbuf.item_row_mut(batch.pos[a]),
                         );
+                        // Two contiguous item-block halves around the
+                        // diagonal (slots 0..a ↔ rows 0..a, a.. ↔ a+1..b).
+                        let gs = &out.grad_neg[a * m..(a + 1) * m];
+                        let ss = &neg_scores[a * m..(a + 1) * m];
+                        cosine_backward_block(
+                            &gs[..a],
+                            &ss[..a],
+                            ua,
+                            user_norm[a],
+                            &item_hat[..a * d],
+                            gbuf.user_row_mut(batch.users[a]),
+                        );
+                        cosine_backward_block(
+                            &gs[a..],
+                            &ss[a..],
+                            ua,
+                            user_norm[a],
+                            &item_hat[(a + 1) * d..b * d],
+                            gbuf.user_row_mut(batch.users[a]),
+                        );
                         let mut jj = 0;
-                        for (c, &c_norm) in item_norm.iter().enumerate() {
+                        for c in 0..b {
                             if c == a {
                                 continue;
                             }
-                            let g = out.grad_neg[a * m + jj];
-                            let s = neg_scores[a * m + jj];
+                            let g = gs[jj];
+                            let s = ss[jj];
                             jj += 1;
                             if g == 0.0 {
                                 continue;
                             }
-                            let ic = &item_hat[c * d..(c + 1) * d];
                             cosine_backward_into(
                                 g,
                                 s,
+                                &item_hat[c * d..(c + 1) * d],
                                 ua,
-                                ic,
-                                user_norm[a],
-                                gbuf.user_row_mut(batch.users[a]),
-                            );
-                            cosine_backward_into(
-                                g,
-                                s,
-                                ic,
-                                ua,
-                                c_norm,
+                                item_norm[c],
                                 gbuf.item_row_mut(batch.pos[c]),
                             );
                         }

@@ -2,7 +2,7 @@
 
 use crate::metrics::{user_metrics, MetricSet};
 use bsl_data::Dataset;
-use bsl_linalg::kernels::{dot, normalize_into};
+use bsl_linalg::simd::{normalize_rows_into, scores_block};
 use bsl_linalg::topk::top_k_masked;
 use bsl_linalg::Matrix;
 
@@ -65,32 +65,19 @@ impl std::fmt::Display for EvalReport {
     }
 }
 
-/// Scores every item for one user vector into `out`.
-fn score_into(user: &[f32], items: &Matrix, kind: ScoreKind, out: &mut Vec<f32>) {
-    out.clear();
-    out.reserve(items.rows());
-    match kind {
-        ScoreKind::Dot => {
-            for i in 0..items.rows() {
-                out.push(dot(user, items.row(i)));
-            }
-        }
-        ScoreKind::Cosine => {
-            // Caller pre-normalizes; cosine here is dot of unit vectors.
-            for i in 0..items.rows() {
-                out.push(dot(user, items.row(i)));
-            }
-        }
-    }
+/// Scores every item for one user vector into `out` — one blocked
+/// tall-skinny matvec over the whole catalogue. Cosine and dot coincide
+/// here because [`evaluate`] pre-normalizes both sides for cosine.
+fn score_into(user: &[f32], items: &Matrix, out: &mut Vec<f32>) {
+    out.resize(items.rows(), 0.0);
+    scores_block(user, items.as_slice(), out);
 }
 
 /// L2-normalizes every row of `m` into a fresh matrix.
 fn normalize_rows(m: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(m.rows(), m.cols());
-    for r in 0..m.rows() {
-        let src = m.row(r).to_vec();
-        normalize_into(&src, out.row_mut(r));
-    }
+    let mut norms = vec![0.0f32; m.rows()];
+    normalize_rows_into(m, &mut out, &mut norms);
     out
 }
 
@@ -107,8 +94,9 @@ pub fn rank_for_user(
     train_items: &[u32],
     k: usize,
 ) -> Vec<u32> {
+    let _ = kind; // both kinds score as a dot once vectors are prepared
     let mut scores = Vec::new();
-    score_into(user, items, kind, &mut scores);
+    score_into(user, items, &mut scores);
     top_k_masked(&scores, k, |i| train_items.binary_search(&(i as u32)).is_ok())
 }
 
@@ -156,7 +144,7 @@ pub fn evaluate(
                 let mut scores: Vec<f32> = Vec::new();
                 for &u in block {
                     let uvec = users_ref.row(u as usize);
-                    score_into(uvec, items_ref, kind, &mut scores);
+                    score_into(uvec, items_ref, &mut scores);
                     let train = ds.train_items(u as usize);
                     let ranked =
                         top_k_masked(&scores, max_k, |i| train.binary_search(&(i as u32)).is_ok());

@@ -1,5 +1,13 @@
 //! Hot vector kernels: dot products, axpy, normalization and the cosine
 //! score/gradient pair used by every backbone during training.
+//!
+//! Every function here routes through the runtime-dispatched SIMD layer in
+//! [`crate::simd`] (scalar reference / portable unrolled / AVX2+FMA,
+//! resolved once per process). Set `BSL_SIMD=scalar` to pin the bit-exact
+//! reference implementations; see the [`crate::simd`] docs for the full
+//! dispatch story and the blocked (batch) kernel variants.
+
+use crate::simd;
 
 /// Dot product of two equal-length slices.
 ///
@@ -7,29 +15,19 @@
 /// (≤ 512) keep the rounding error far below the noise floor of SGD.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc += x * y;
-    }
-    acc
+    simd::dot(a, b)
 }
 
 /// `y += alpha * x`.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(alpha, x, y)
 }
 
 /// `y *= alpha`.
 #[inline]
 pub fn scale(alpha: f32, y: &mut [f32]) {
-    for yi in y.iter_mut() {
-        *yi *= alpha;
-    }
+    simd::scale(alpha, y)
 }
 
 /// Euclidean norm of a slice.
@@ -41,13 +39,7 @@ pub fn norm(a: &[f32]) -> f32 {
 /// Squared Euclidean distance between two slices.
 #[inline]
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b.iter()) {
-        let d = x - y;
-        acc += d * d;
-    }
-    acc
+    simd::sq_dist(a, b)
 }
 
 /// Writes `x / max(||x||, eps)` into `out` and returns `||x||`.
@@ -56,12 +48,7 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 /// matches the PyTorch `F.normalize` default.
 #[inline]
 pub fn normalize_into(x: &[f32], out: &mut [f32]) -> f32 {
-    let n = norm(x);
-    let inv = 1.0 / n.max(1e-12);
-    for (o, xi) in out.iter_mut().zip(x.iter()) {
-        *o = xi * inv;
-    }
-    n
+    simd::normalize_into(x, out)
 }
 
 /// Cosine similarity between two raw (unnormalized) vectors.
@@ -89,10 +76,7 @@ pub fn cosine_backward_into(
     a_norm: f32,
     grad_a: &mut [f32],
 ) {
-    let inv = 1.0 / a_norm.max(1e-12);
-    for ((ga, &bh), &ah) in grad_a.iter_mut().zip(b_hat.iter()).zip(a_hat.iter()) {
-        *ga += g * (bh - s * ah) * inv;
-    }
+    simd::cosine_backward_into(g, s, a_hat, b_hat, a_norm, grad_a)
 }
 
 #[cfg(test)]

@@ -2,9 +2,10 @@
 //!
 //! This crate is intentionally small and dependency-free (besides `rand`):
 //! a row-major [`Matrix`] of `f32`, the vector kernels the training loops
-//! are hot on ([`kernels`]), numerically-stable statistics ([`stats`]),
-//! top-k selection for ranking evaluation ([`topk`]), and a randomized
-//! truncated SVD ([`svd`]) used by the LightGCL-lite backbone.
+//! are hot on ([`kernels`], backed by the runtime-dispatched SIMD layer in
+//! [`simd`] with blocked batch variants), numerically-stable statistics
+//! ([`stats`]), top-k selection for ranking evaluation ([`topk`]), and a
+//! randomized truncated SVD ([`svd`]) used by the LightGCL-lite backbone.
 //!
 //! Conventions:
 //! * storage is `f32`, accumulation of anything that is summed over many
@@ -16,6 +17,7 @@
 
 pub mod kernels;
 pub mod matrix;
+pub mod simd;
 pub mod stats;
 pub mod svd;
 pub mod topk;

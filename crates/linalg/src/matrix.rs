@@ -136,26 +136,23 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += *b;
-        }
+        crate::kernels::axpy(1.0, &other.data, &mut self.data);
     }
 
     /// `self += alpha * other`, elementwise.
     pub fn add_scaled_assign(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add_scaled_assign");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * *b;
-        }
+        crate::kernels::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Scales every entry by `alpha`.
     pub fn scale(&mut self, alpha: f32) {
-        self.data.iter_mut().for_each(|x| *x *= alpha);
+        crate::kernels::scale(alpha, &mut self.data);
     }
 
-    /// Dense matrix product `self * other` (naive i-k-j loop order, good
-    /// enough for the small factors this workspace multiplies).
+    /// Dense matrix product `self * other` (i-k-j loop order; the inner
+    /// row accumulation is a dispatched `axpy`, so the small dense factors
+    /// this workspace multiplies still ride the SIMD kernels).
     ///
     /// # Panics
     /// Panics if inner dimensions disagree.
@@ -168,11 +165,7 @@ impl Matrix {
                 if aik == 0.0 {
                     continue;
                 }
-                let b_row = other.row(k);
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * b;
-                }
+                crate::kernels::axpy(aik, other.row(k), out.row_mut(i));
             }
         }
         out
@@ -189,10 +182,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                crate::kernels::axpy(a, b_row, out.row_mut(i));
             }
         }
         out

@@ -5,7 +5,7 @@
 //! itself — [`Propagator::backward`] simply reuses the forward map, and the
 //! `adjointness` test below verifies `<F(x), y> = <x, F(y)>` numerically.
 
-use bsl_linalg::kernels::{dot, normalize_into};
+use bsl_linalg::simd::scores_block;
 use bsl_linalg::stats::softmax_into;
 use bsl_linalg::Matrix;
 use bsl_sparse::NormAdj;
@@ -103,24 +103,18 @@ pub fn info_nce_grad(
     let b = nodes.len();
     let d = z1.cols();
 
-    // Gather normalized rows and their norms.
+    // Gather normalized rows and their norms (blocked gather kernels).
     let mut h1 = Matrix::zeros(b, d);
     let mut h2 = Matrix::zeros(b, d);
     let mut n1 = vec![0.0f32; b];
     let mut n2 = vec![0.0f32; b];
-    for (row, &node) in nodes.iter().enumerate() {
-        n1[row] = normalize_into(z1.row(node as usize), h1.row_mut(row));
-        n2[row] = normalize_into(z2.row(node as usize), h2.row_mut(row));
-    }
+    bsl_linalg::simd::normalize_gather_into(z1, nodes, h1.as_mut_slice(), &mut n1);
+    bsl_linalg::simd::normalize_gather_into(z2, nodes, h2.as_mut_slice(), &mut n2);
 
-    // Similarity matrix and row softmax.
+    // Similarity matrix (one blocked matvec per row) and row softmax.
     let mut sims = Matrix::zeros(b, b);
     for a in 0..b {
-        let ha = h1.row(a).to_vec();
-        let row = sims.row_mut(a);
-        for (bb, slot) in row.iter_mut().enumerate() {
-            *slot = dot(&ha, h2.row(bb));
-        }
+        scores_block(h1.row(a), h2.as_slice(), sims.row_mut(a));
     }
     let mut loss = 0.0f64;
     let inv_b = 1.0 / b as f64;

@@ -1,5 +1,12 @@
 //! Adam (Kingma & Ba) with dense and lazy-row update paths.
+//!
+//! Both paths route through the fused [`bsl_linalg::simd::adam_update`]
+//! kernel (runtime-dispatched scalar / unrolled / AVX2+FMA): the moment
+//! EMAs and the bias-corrected parameter step run as one kernel call per
+//! row (lazy path) or per matrix (dense path). Scalar dispatch is
+//! bit-identical to the historical three-loop implementation.
 
+use bsl_linalg::simd;
 use bsl_linalg::Matrix;
 
 /// Adam state for one parameter matrix.
@@ -62,21 +69,18 @@ impl Adam {
     pub fn update_row(&mut self, param: &mut [f32], row: usize, grad: &[f32], lr: f32) {
         debug_assert_eq!(param.len(), grad.len());
         let (bc1, bc2) = self.bias_corrections();
-        let mr = self.m.row_mut(row);
-        for (mi, &g) in mr.iter_mut().zip(grad.iter()) {
-            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
-        }
-        let vr = self.v.row_mut(row);
-        for (vi, &g) in vr.iter_mut().zip(grad.iter()) {
-            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
-        }
-        let mr = self.m.row(row);
-        let vr = self.v.row(row);
-        for ((p, &mi), &vi) in param.iter_mut().zip(mr.iter()).zip(vr.iter()) {
-            let m_hat = mi / bc1;
-            let v_hat = vi / bc2;
-            *p -= lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        simd::adam_update(
+            param,
+            self.m.row_mut(row),
+            self.v.row_mut(row),
+            grad,
+            lr,
+            self.beta1,
+            self.beta2,
+            bc1,
+            bc2,
+            self.eps,
+        );
     }
 
     /// Dense update of a whole parameter matrix. Advances the step counter
@@ -89,20 +93,18 @@ impl Adam {
         assert_eq!(param.shape(), self.m.shape(), "adam state shape mismatch");
         self.begin_step();
         let (bc1, bc2) = self.bias_corrections();
-        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
-        for (((p, g), mi), vi) in param
-            .as_mut_slice()
-            .iter_mut()
-            .zip(grad.as_slice().iter())
-            .zip(self.m.as_mut_slice().iter_mut())
-            .zip(self.v.as_mut_slice().iter_mut())
-        {
-            *mi = b1 * *mi + (1.0 - b1) * g;
-            *vi = b2 * *vi + (1.0 - b2) * g * g;
-            let m_hat = *mi / bc1;
-            let v_hat = *vi / bc2;
-            *p -= lr * m_hat / (v_hat.sqrt() + eps);
-        }
+        simd::adam_update(
+            param.as_mut_slice(),
+            self.m.as_mut_slice(),
+            self.v.as_mut_slice(),
+            grad.as_slice(),
+            lr,
+            self.beta1,
+            self.beta2,
+            bc1,
+            bc2,
+            self.eps,
+        );
     }
 
     /// Lazy update over an explicit list of touched rows: one

@@ -1,6 +1,10 @@
 //! Plain (optionally momentum) SGD — used by the ENMF baseline and as a
-//! reference optimizer in tests.
+//! reference optimizer in tests. The plain step is one dispatched `axpy`;
+//! the momentum step runs the fused single-pass
+//! [`bsl_linalg::simd::sgd_momentum_update`] kernel.
 
+use bsl_linalg::kernels::axpy;
+use bsl_linalg::simd::sgd_momentum_update;
 use bsl_linalg::Matrix;
 
 /// SGD with optional classical momentum.
@@ -34,21 +38,16 @@ impl Sgd {
         match &mut self.velocity {
             Some(v) => {
                 assert_eq!(v.shape(), param.shape(), "sgd state shape mismatch");
-                let mu = self.momentum;
-                for ((p, g), vi) in param
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(grad.as_slice().iter())
-                    .zip(v.as_mut_slice().iter_mut())
-                {
-                    *vi = mu * *vi + g;
-                    *p -= lr * *vi;
-                }
+                sgd_momentum_update(
+                    param.as_mut_slice(),
+                    v.as_mut_slice(),
+                    grad.as_slice(),
+                    lr,
+                    self.momentum,
+                );
             }
             None => {
-                for (p, g) in param.as_mut_slice().iter_mut().zip(grad.as_slice().iter()) {
-                    *p -= lr * g;
-                }
+                axpy(-lr, grad.as_slice(), param.as_mut_slice());
             }
         }
     }
@@ -69,7 +68,11 @@ mod tests {
         let mut p = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
         let g = Matrix::from_vec(1, 2, vec![10.0, -10.0]);
         Sgd::new().step_dense(&mut p, &g, 0.1);
-        assert_eq!(p.as_slice(), &[0.0, 3.0]);
+        // FMA dispatch keeps the exact product −0.1·10, so 1 − 1 lands a
+        // rounding away from zero — compare within float tolerance.
+        for (got, want) in p.as_slice().iter().zip([0.0f32, 3.0]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
     }
 
     #[test]

@@ -159,22 +159,21 @@ impl Csr {
 
     /// Sparse × dense product written into an existing buffer
     /// (overwritten, not accumulated).
+    ///
+    /// Each output row is an `axpy` chain over the row's stored entries —
+    /// the dense-row accumulation rides the dispatched SIMD kernels in
+    /// `bsl_linalg::kernels` (this is the inner loop of every LightGCN
+    /// propagation hop).
     pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.rows(), self.cols, "spmm dimension mismatch");
         assert_eq!(out.shape(), (self.rows, x.cols()), "spmm output shape mismatch");
         out.fill(0.0);
         for r in 0..self.rows {
-            // Split borrow: out row r vs x rows; copy indices first.
             let start = self.indptr[r];
             let end = self.indptr[r + 1];
             let o = out.row_mut(r);
             for k in start..end {
-                let c = self.indices[k] as usize;
-                let v = self.values[k];
-                let xr = x.row(c);
-                for (oi, &xi) in o.iter_mut().zip(xr.iter()) {
-                    *oi += v * xi;
-                }
+                bsl_linalg::kernels::axpy(self.values[k], x.row(self.indices[k] as usize), o);
             }
         }
     }
@@ -238,17 +237,12 @@ impl LinOp for Csr {
         assert_eq!(x.rows(), self.rows, "apply_t dimension mismatch");
         let mut out = Matrix::zeros(self.cols, x.cols());
         for r in 0..self.rows {
-            let xr_start = r;
             let start = self.indptr[r];
             let end = self.indptr[r + 1];
             for k in start..end {
                 let c = self.indices[k] as usize;
-                let v = self.values[k];
                 // out[c] += v * x[r]
-                let (xr, o) = (x.row(xr_start).to_vec(), out.row_mut(c));
-                for (oi, xi) in o.iter_mut().zip(xr.iter()) {
-                    *oi += v * xi;
-                }
+                bsl_linalg::kernels::axpy(self.values[k], x.row(r), out.row_mut(c));
             }
         }
         out

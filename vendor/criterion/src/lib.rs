@@ -5,9 +5,15 @@
 //! [`Criterion::bench_function`] + [`Bencher::iter`], [`black_box`], and
 //! the [`criterion_group!`]/[`criterion_main!`] macros. Measurements are
 //! plain wall-clock means with a min/max spread printed per benchmark: no
-//! outlier rejection, HTML reports, or statistical regression analysis.
-//! Numbers from this shim are indicative, not publication-grade; swap in
-//! the real criterion (root `[workspace.dependencies]`) for serious work.
+//! HTML reports or statistical regression analysis. *Heavy* benchmarks —
+//! those whose per-iteration cost is so large that a sample holds only a
+//! couple of iterations — get one extra untimed warm-up batch plus one
+//! extra timed sample whose slowest value is dropped, so first-iteration
+//! cold-start effects (page faults, allocator growth) don't smear the
+//! reported spread (the `epoch_*_yelp_*` group was spanning 2× min→max
+//! from exactly that). Numbers from this shim are indicative, not
+//! publication-grade; swap in the real criterion (root
+//! `[workspace.dependencies]`) for serious work.
 
 use std::time::{Duration, Instant};
 
@@ -124,14 +130,36 @@ impl Bencher {
         let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
         let iters_per_sample = (budget_ns / est_ns).clamp(1.0, 1e7) as u64;
 
+        // Heavy benchmarks (a handful of iterations per sample) are
+        // dominated by cold-start noise: run one extra untimed warm-up
+        // batch, then collect one extra sample and drop the slowest so
+        // the committed baselines stay comparable across runs.
+        let heavy = iters_per_sample <= 2;
+        if heavy {
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+        }
+        let n_samples = self.sample_size + usize::from(heavy);
+
         self.samples_ns.clear();
-        for _ in 0..self.sample_size {
+        for _ in 0..n_samples {
             let t0 = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(routine());
             }
             let per_iter = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
             self.samples_ns.push(per_iter);
+        }
+        if heavy {
+            let worst = self
+                .samples_ns
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("at least one sample");
+            self.samples_ns.swap_remove(worst);
         }
     }
 
@@ -233,5 +261,29 @@ mod tests {
     fn unknown_flags_are_ignored() {
         let c = Criterion::default().configure_from(["--bench".to_string()].into_iter());
         assert_eq!(c.sample_size, Criterion::default().sample_size);
+    }
+
+    /// A routine slow enough that each sample holds a single iteration
+    /// takes the heavy path: extra sample collected, slowest dropped, and
+    /// the reported count still equals `sample_size`.
+    #[test]
+    fn heavy_benchmarks_drop_their_slowest_sample() {
+        let mut bencher = Bencher {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+            samples_ns: Vec::new(),
+        };
+        bencher.iter(|| std::thread::sleep(Duration::from_millis(10)));
+        assert_eq!(bencher.samples_ns.len(), 3);
+        // Fast routines keep the plain path (no extra sample machinery).
+        let mut fast = Bencher {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+            samples_ns: Vec::new(),
+        };
+        fast.iter(|| black_box(1u64) + black_box(2u64));
+        assert_eq!(fast.samples_ns.len(), 3);
     }
 }
