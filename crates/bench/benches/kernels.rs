@@ -9,7 +9,10 @@
 //! BENCHMARKS.md across PRs for that one.
 
 use bsl_linalg::kernels::{axpy, cosine_backward_into, dot, normalize_into};
-use bsl_linalg::simd::{self, cosine_backward_block, normalize_rows_into, scores_block, SimdLevel};
+use bsl_linalg::simd::{
+    self, cosine_backward_block, normalize_gather_into, normalize_rows_into, scores_block,
+    SimdLevel,
+};
 use bsl_linalg::Matrix;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -99,6 +102,28 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("normalize_rows_512_d64", |bench| {
         bench.iter(|| {
             normalize_rows_into(black_box(&rows), black_box(&mut unit), black_box(&mut norms))
+        })
+    });
+
+    // Catalogue-scale gather: 64 pseudo-random rows out of a 200k × 64
+    // item table (~51 MB — far beyond LLC), the access pattern of the
+    // sampled trainer's negative blocks on a real catalogue. This is the
+    // case the software prefetch in `normalize_gather_into` targets; the
+    // dense-table `normalize_rows_512_d64` bench above is the
+    // cache-resident contrast.
+    let catalog = Matrix::from_fn(200_000, d, |r, cix| ((r * 131 + cix * 17) % 23) as f32 * 0.1);
+    let gather_ids: Vec<u32> =
+        (0..m as u32).map(|j| j.wrapping_mul(48_271).wrapping_mul(4099) % 200_000).collect();
+    let mut gblock = vec![0.0f32; m * d];
+    let mut gnorms = vec![0.0f32; m];
+    c.bench_function("normalize_gather_200k_d64_m64", |bench| {
+        bench.iter(|| {
+            normalize_gather_into(
+                black_box(&catalog),
+                black_box(&gather_ids),
+                black_box(&mut gblock),
+                black_box(&mut gnorms),
+            )
         })
     });
 }

@@ -1,0 +1,55 @@
+//! Exact-sharded vs Hogwild epochs on the persistent-pool engine: the
+//! same MF+BSL epoch at 2/4 workers under both sync modes, plus the
+//! serial baseline. On a multi-core machine the hogwild lines should
+//! undercut their exact counterparts (no shard merge, no Adam state, no
+//! write-barrier between pass 2 and the optimizer); the accuracy side of
+//! the trade-off is measured by `examples/hogwild_tradeoff.rs`, not here.
+
+use bsl_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn epoch_cfg(threads: usize, sync: SyncMode) -> TrainConfig {
+    TrainConfig {
+        backbone: BackboneConfig::Mf,
+        loss: LossConfig::Bsl { tau1: 0.3, tau2: 0.15 },
+        epochs: 1,
+        eval_every: 1,
+        dim: 32,
+        negatives: 64,
+        batch_size: 512,
+        patience: 0,
+        threads,
+        sync,
+        ..TrainConfig::smoke()
+    }
+}
+
+fn bench_training_hogwild(c: &mut Criterion) {
+    let ds = Arc::new(generate(&SynthConfig::yelp_like(1)));
+
+    // One Trainer per bench target, reused across iterations: the
+    // persistent engine spawns its workers on the first fit only, so the
+    // steady-state epochs measured here are completely spawn-free.
+    c.bench_function("epoch_mf_bsl_yelp_serial", |b| {
+        let trainer = Trainer::new(epoch_cfg(1, SyncMode::Exact));
+        b.iter(|| trainer.fit(&ds))
+    });
+    for threads in [2usize, 4] {
+        c.bench_function(&format!("epoch_mf_bsl_yelp_exact_threads{threads}"), |b| {
+            let trainer = Trainer::new(epoch_cfg(threads, SyncMode::Exact));
+            b.iter(|| trainer.fit(&ds))
+        });
+        c.bench_function(&format!("epoch_mf_bsl_yelp_hogwild_threads{threads}"), |b| {
+            let trainer = Trainer::new(epoch_cfg(threads, SyncMode::Hogwild));
+            b.iter(|| trainer.fit(&ds))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_hogwild
+}
+criterion_main!(benches);

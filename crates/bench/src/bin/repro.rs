@@ -1,11 +1,14 @@
 //! The reproduction driver:
-//! `repro <experiment> [--scale quick|full] [--threads N]`.
+//! `repro <experiment> [--scale quick|full] [--threads N] [--sync exact|hogwild]`.
 //!
 //! One subcommand per table/figure of the paper's evaluation section (see
 //! DESIGN.md §6 for the experiment index). `all` runs everything in order.
 //! `--threads` feeds [`TrainConfig::threads`](bsl_core::TrainConfig) for
 //! every experiment (`0` = one worker per core; default `1` keeps outputs
-//! bit-reproducible across machines).
+//! bit-reproducible across machines). `--sync hogwild` switches the
+//! multi-threaded trainer to lock-free in-place updates
+//! ([`SyncMode::Hogwild`](bsl_core::SyncMode)) — faster on contended
+//! machines, not reproducible; only meaningful with `--threads != 1`.
 
 use bsl_bench::experiments::*;
 use bsl_bench::Scale;
@@ -16,7 +19,9 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment|all> [--scale quick|full] [--threads N]");
+    eprintln!(
+        "usage: repro <experiment|all> [--scale quick|full] [--threads N] [--sync exact|hogwild]"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
         "(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)"
@@ -66,6 +71,15 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage());
                 let n: usize = v.parse().unwrap_or_else(|_| usage());
                 common::set_default_threads(n);
+            }
+            "--sync" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let sync = match v.to_ascii_lowercase().as_str() {
+                    "exact" => bsl_core::SyncMode::Exact,
+                    "hogwild" => bsl_core::SyncMode::Hogwild,
+                    _ => usage(),
+                };
+                common::set_default_sync(sync);
             }
             other => names.push(other.to_string()),
         }

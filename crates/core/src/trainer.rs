@@ -1,6 +1,7 @@
 //! The training loop: backbone × loss × sampler × optimizer × evaluation.
 
-use crate::config::{SamplingConfig, TrainConfig};
+use crate::config::{SamplingConfig, SyncMode, TrainConfig};
+use crate::engine::{Engine, HogwildView, Job, WorkerPool};
 use bsl_data::Dataset;
 use bsl_eval::{evaluate, EvalReport, ScoreKind};
 use bsl_linalg::kernels::{axpy, cosine_backward_into, dot, normalize_into, sq_dist};
@@ -8,13 +9,16 @@ use bsl_linalg::simd::{cosine_backward_block, normalize_gather_into, scores_bloc
 use bsl_linalg::Matrix;
 use bsl_losses::{build as build_loss, RankingLoss, ScoreBatch};
 use bsl_models::cml::euclidean_rank_embeddings;
-use bsl_models::{build as build_backbone, Backbone, EvalScore, GradBuffer, Hyper, TrainScore};
+use bsl_models::{
+    build as build_backbone, Backbone, EvalScore, GradBuffer, Hyper, ShardGrad, TrainScore,
+};
+use bsl_opt::sgd_step_row;
 use bsl_sampling::{
-    epoch_batches, NegativeSampler, NoisySampler, PopularitySampler, TrainBatch, UniformSampler,
+    BatchIter, NegativeSampler, NoisySampler, PopularitySampler, TrainBatch, UniformSampler,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The cutoffs every training run evaluates (Fig 7's @5/@10/@15 plus the
 /// paper's headline @20).
@@ -81,6 +85,11 @@ pub fn evaluate_embeddings(
 /// Trains a backbone with a ranking loss on a dataset.
 pub struct Trainer {
     cfg: TrainConfig,
+    /// Persistent execution engine (compute worker pool + sampling shard
+    /// workers), created lazily on the first multi-threaded fit and then
+    /// reused for every batch, epoch, and subsequent fit of this trainer
+    /// — no per-batch or per-epoch thread spawning.
+    engine: OnceLock<Engine>,
 }
 
 /// Contiguous row ranges splitting `n` rows across at most `k` workers
@@ -89,6 +98,16 @@ fn row_chunks(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     let k = k.min(n).max(1);
     let chunk = n.div_ceil(k);
     (0..n).step_by(chunk.max(1)).map(|s| s..(s + chunk).min(n)).collect()
+}
+
+/// One Hogwild read-modify-write: load `row` into `buf`, apply a plain-SGD
+/// update with coupled L2 on the local copy, store it back. Concurrent
+/// callers updating the same row may overwrite each other's increments —
+/// the approximation Hogwild accepts for lock-freedom.
+fn hogwild_apply(view: &HogwildView, row: u32, grad: &[f32], buf: &mut [f32], hp: Hyper) {
+    view.load_row(row as usize, buf);
+    sgd_step_row(buf, grad, hp.lr, hp.l2);
+    view.store_row(row as usize, buf);
 }
 
 /// Reusable step scratch: unit vectors, norms, scores and the in-batch
@@ -151,10 +170,166 @@ impl StepScratch {
     }
 }
 
+/// Pass 1 of the pooled *sampled* step, shared verbatim by the exact
+/// ([`Trainer::step_sampled_par`]) and Hogwild paths: sizes the scratch,
+/// then scores row-sharded into disjoint scratch slices — each shard
+/// normalizes its negative blocks once (cached for pass 2) and scores
+/// them with blocked matvecs. The distance-scored path carves empty
+/// `nh`/`nn` slices; it never reads them. One pool job per chunk replaces
+/// the old scoped-thread spawn round.
+#[allow(clippy::too_many_arguments)] // the pass mirrors the step state
+fn pass1_sampled_scores(
+    pool: &WorkerPool,
+    chunks: &[std::ops::Range<usize>],
+    batch: &TrainBatch,
+    users: &Matrix,
+    items: &Matrix,
+    score_kind: TrainScore,
+    scratch: &mut StepScratch,
+    b: usize,
+    m: usize,
+    d: usize,
+) {
+    let cache_negs = score_kind == TrainScore::Cosine;
+    scratch.ensure_sampled(b, m, d, cache_negs);
+    let mut jobs: Vec<Job> = Vec::with_capacity(chunks.len());
+    let mut uh_rest = &mut scratch.user_hat[..b * d];
+    let mut un_rest = &mut scratch.user_norm[..b];
+    let mut ph_rest = &mut scratch.pos_hat[..b * d];
+    let mut pn_rest = &mut scratch.pos_norm[..b];
+    let mut ps_rest = &mut scratch.pos_scores[..b];
+    let mut ns_rest = &mut scratch.neg_scores[..b * m];
+    let mut nh_rest: &mut [f32] =
+        if cache_negs { &mut scratch.neg_hat[..b * m * d] } else { &mut [] };
+    let mut nn_rest: &mut [f32] =
+        if cache_negs { &mut scratch.neg_norms[..b * m] } else { &mut [] };
+    for range in chunks {
+        let rows = range.len();
+        let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
+        uh_rest = r;
+        let (un, r) = std::mem::take(&mut un_rest).split_at_mut(rows);
+        un_rest = r;
+        let (ph, r) = std::mem::take(&mut ph_rest).split_at_mut(rows * d);
+        ph_rest = r;
+        let (pn, r) = std::mem::take(&mut pn_rest).split_at_mut(rows);
+        pn_rest = r;
+        let (ps, r) = std::mem::take(&mut ps_rest).split_at_mut(rows);
+        ps_rest = r;
+        let (ns, r) = std::mem::take(&mut ns_rest).split_at_mut(rows * m);
+        ns_rest = r;
+        let (nh, r) =
+            std::mem::take(&mut nh_rest).split_at_mut(if cache_negs { rows * m * d } else { 0 });
+        nh_rest = r;
+        let (nn, r) =
+            std::mem::take(&mut nn_rest).split_at_mut(if cache_negs { rows * m } else { 0 });
+        nn_rest = r;
+        let range = range.clone();
+        jobs.push(Box::new(move || {
+            for (li, row) in range.enumerate() {
+                let u = batch.users[row] as usize;
+                let i = batch.pos[row] as usize;
+                match score_kind {
+                    TrainScore::Cosine => {
+                        un[li] = normalize_into(users.row(u), &mut uh[li * d..(li + 1) * d]);
+                        pn[li] = normalize_into(items.row(i), &mut ph[li * d..(li + 1) * d]);
+                        ps[li] = dot(&uh[li * d..(li + 1) * d], &ph[li * d..(li + 1) * d]);
+                        normalize_gather_into(
+                            items,
+                            batch.negs_of(row),
+                            &mut nh[li * m * d..(li + 1) * m * d],
+                            &mut nn[li * m..(li + 1) * m],
+                        );
+                        scores_block(
+                            &uh[li * d..(li + 1) * d],
+                            &nh[li * m * d..(li + 1) * m * d],
+                            &mut ns[li * m..(li + 1) * m],
+                        );
+                    }
+                    TrainScore::NegSqDist => {
+                        ps[li] = -sq_dist(users.row(u), items.row(i));
+                        for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                            ns[li * m + jj] = -sq_dist(users.row(u), items.row(j as usize));
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    pool.run(jobs);
+}
+
+/// Pass 1 of the pooled *in-batch* step, shared verbatim by the exact
+/// ([`Trainer::step_in_batch_par`]) and Hogwild paths: sizes the scratch,
+/// gather-normalizes each row's user and positive item (row-sharded
+/// blocked gathers; `pos_hat`/`pos_norm` hold the item side), then fills
+/// the full `B × B` similarity matrix `S[a][c] = cos(user_a, item_c)` by
+/// row chunks — every worker reads all of the item block, one blocked
+/// matvec per user row.
+#[allow(clippy::too_many_arguments)] // the pass mirrors the step state
+fn pass1_in_batch_scores(
+    pool: &WorkerPool,
+    chunks: &[std::ops::Range<usize>],
+    batch: &TrainBatch,
+    users: &Matrix,
+    items: &Matrix,
+    scratch: &mut StepScratch,
+    b: usize,
+    d: usize,
+) {
+    scratch.ensure_in_batch(b, d);
+    {
+        let mut jobs: Vec<Job> = Vec::with_capacity(chunks.len());
+        let mut uh_rest = &mut scratch.user_hat[..b * d];
+        let mut ih_rest = &mut scratch.pos_hat[..b * d];
+        let mut un_rest = &mut scratch.user_norm[..b];
+        let mut in_rest = &mut scratch.pos_norm[..b];
+        for range in chunks {
+            let rows = range.len();
+            let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
+            uh_rest = r;
+            let (ih, r) = std::mem::take(&mut ih_rest).split_at_mut(rows * d);
+            ih_rest = r;
+            let (un, r) = std::mem::take(&mut un_rest).split_at_mut(rows);
+            un_rest = r;
+            let (inorm, r) = std::mem::take(&mut in_rest).split_at_mut(rows);
+            in_rest = r;
+            let range = range.clone();
+            jobs.push(Box::new(move || {
+                normalize_gather_into(users, &batch.users[range.clone()], uh, un);
+                normalize_gather_into(items, &batch.pos[range], ih, inorm);
+            }));
+        }
+        pool.run(jobs);
+    }
+    {
+        let mut jobs: Vec<Job> = Vec::with_capacity(chunks.len());
+        let user_hat = &scratch.user_hat;
+        let item_hat = &scratch.pos_hat[..b * d];
+        let mut s_rest = &mut scratch.sims[..b * b];
+        for range in chunks {
+            let (srows, r) = std::mem::take(&mut s_rest).split_at_mut(range.len() * b);
+            s_rest = r;
+            let range = range.clone();
+            jobs.push(Box::new(move || {
+                for (li, a) in range.enumerate() {
+                    scores_block(
+                        &user_hat[a * d..(a + 1) * d],
+                        item_hat,
+                        &mut srows[li * b..(li + 1) * b],
+                    );
+                }
+            }));
+        }
+        pool.run(jobs);
+    }
+}
+
 impl Trainer {
-    /// Creates a trainer for `cfg`.
+    /// Creates a trainer for `cfg`. Worker threads (for
+    /// `cfg.threads != 1`) are spawned lazily on the first fit and reused
+    /// by every later fit of this trainer.
     pub fn new(cfg: TrainConfig) -> Self {
-        Self { cfg }
+        Self { cfg, engine: OnceLock::new() }
     }
 
     /// The configuration this trainer runs.
@@ -190,16 +365,49 @@ impl Trainer {
         let m = if in_batch { 1 } else { cfg.negatives };
 
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xB5F0_0B5F);
-        let mut grads = GradBuffer::new(ds.n_users, ds.n_items, backbone.out_dim());
         // `threads == 1` must stay bit-identical to the historical serial
-        // trainer, so the sharded machinery only exists when threads > 1.
+        // trainer, so the persistent engine only exists when threads > 1.
         let n_threads = cfg.resolved_threads();
-        let mut shard_grads: Vec<GradBuffer> = if n_threads > 1 {
-            (0..n_threads)
-                .map(|_| GradBuffer::new(ds.n_users, ds.n_items, backbone.out_dim()))
-                .collect()
+        let engine: Option<&Engine> = if n_threads > 1 {
+            Some(self.engine.get_or_init(|| Engine::new(n_threads)))
+        } else {
+            None
+        };
+        // Hogwild needs raw in-place-updatable parameters and cosine
+        // scoring; anything else falls back to the exact sharded path.
+        let hogwild = match cfg.sync {
+            SyncMode::Exact => false,
+            SyncMode::Hogwild => {
+                if n_threads <= 1 {
+                    false
+                } else if backbone.train_score() != TrainScore::Cosine
+                    || backbone.params_mut().is_none()
+                {
+                    eprintln!(
+                        "sync: Hogwild unsupported for backbone {} — \
+                         falling back to exact sharded updates",
+                        backbone.name()
+                    );
+                    false
+                } else {
+                    true
+                }
+            }
+        };
+        // Per-worker gradient shards are sized to the batch footprint
+        // (grow-only sparse row maps), never to the catalogue.
+        let mut shard_grads: Vec<ShardGrad> = if n_threads > 1 && !hogwild {
+            (0..n_threads).map(|_| ShardGrad::new(backbone.out_dim())).collect()
         } else {
             Vec::new()
+        };
+        // The merged accumulator the optimizer consumes — dense, but only
+        // the exact paths need it; Hogwild updates in place and gets an
+        // empty stand-in so nothing catalogue-sized is allocated.
+        let mut grads = if hogwild {
+            GradBuffer::new(0, 0, backbone.out_dim())
+        } else {
+            GradBuffer::new(ds.n_users, ds.n_items, backbone.out_dim())
         };
         let hyper = Hyper { lr: cfg.lr, l2: cfg.l2 };
         let mut scratch = StepScratch::default();
@@ -215,15 +423,40 @@ impl Trainer {
             let mut aux_sum = 0.0f64;
             let mut n_batches = 0usize;
             let epoch_seed = cfg.seed.wrapping_add(1 + epoch as u64);
-            // Sampling shards (threads > 1) overlap negative drawing with
-            // the gradient work below; one shard is the serial BatchIter.
-            for batch in epoch_batches(ds, &sampler, cfg.batch_size, m, epoch_seed, n_threads) {
+            // Persistent sampling shards (threads > 1) overlap negative
+            // drawing with the gradient work below without spawning any
+            // thread; threads == 1 is the serial BatchIter.
+            let batches: Box<dyn Iterator<Item = TrainBatch> + '_> = match engine {
+                Some(e) => {
+                    Box::new(e.samplers().start_epoch(ds, &sampler, cfg.batch_size, m, epoch_seed))
+                }
+                None => {
+                    Box::new(BatchIter::new(ds, sampler.as_ref(), cfg.batch_size, m, epoch_seed))
+                }
+            };
+            for batch in batches {
                 if in_batch && batch.len() < 2 {
                     continue; // a single row has no in-batch negatives
                 }
                 backbone.forward(&mut rng);
-                let (l, aux) = match (in_batch, n_threads > 1) {
-                    (true, false) => self.step_in_batch(
+                let (l, aux) = match (in_batch, engine) {
+                    (true, Some(e)) if hogwild => self.step_in_batch_hogwild(
+                        backbone,
+                        loss.as_ref(),
+                        &batch,
+                        &mut scratch,
+                        hyper,
+                        e.pool(),
+                    ),
+                    (false, Some(e)) if hogwild => self.step_sampled_hogwild(
+                        backbone,
+                        loss.as_ref(),
+                        &batch,
+                        &mut scratch,
+                        hyper,
+                        e.pool(),
+                    ),
+                    (true, None) => self.step_in_batch(
                         backbone,
                         loss.as_ref(),
                         &batch,
@@ -232,7 +465,7 @@ impl Trainer {
                         hyper,
                         &mut rng,
                     ),
-                    (true, true) => self.step_in_batch_par(
+                    (true, Some(e)) => self.step_in_batch_par(
                         backbone,
                         loss.as_ref(),
                         &batch,
@@ -241,8 +474,9 @@ impl Trainer {
                         &mut scratch,
                         hyper,
                         &mut rng,
+                        e.pool(),
                     ),
-                    (false, false) => self.step_sampled(
+                    (false, None) => self.step_sampled(
                         backbone,
                         loss.as_ref(),
                         &batch,
@@ -251,7 +485,7 @@ impl Trainer {
                         hyper,
                         &mut rng,
                     ),
-                    (false, true) => self.step_sampled_par(
+                    (false, Some(e)) => self.step_sampled_par(
                         backbone,
                         loss.as_ref(),
                         &batch,
@@ -260,6 +494,7 @@ impl Trainer {
                         &mut scratch,
                         hyper,
                         &mut rng,
+                        e.pool(),
                     ),
                 };
                 loss_sum += l;
@@ -465,12 +700,13 @@ impl Trainer {
     }
 
     /// The sharded counterpart of [`Trainer::step_sampled`]: pass-1
-    /// scoring and pass-2 gradient accumulation run on scoped worker
-    /// threads over contiguous row chunks, one private [`GradBuffer`] per
-    /// shard, merged in shard order before the optimizer step. The math is
-    /// identical to the serial step; only the f32 reduction order of
-    /// gradient rows shared between shards differs, so results are
-    /// deterministic for a fixed `(seed, threads)` pair.
+    /// scoring and pass-2 gradient accumulation run as per-batch work
+    /// items on the persistent [`WorkerPool`] over contiguous row chunks,
+    /// one private batch-footprint [`ShardGrad`] per shard, merged in
+    /// shard order before the optimizer step. The math is identical to
+    /// the serial step; only the f32 reduction order of gradient rows
+    /// shared between shards differs, so results are deterministic for a
+    /// fixed `(seed, threads)` pair.
     #[allow(clippy::too_many_arguments)] // mirrors step_sampled + the shard buffers
     fn step_sampled_par(
         &self,
@@ -478,10 +714,11 @@ impl Trainer {
         loss: &dyn RankingLoss,
         batch: &TrainBatch,
         grads: &mut GradBuffer,
-        shard_grads: &mut [GradBuffer],
+        shard_grads: &mut [ShardGrad],
         scratch: &mut StepScratch,
         hyper: Hyper,
         rng: &mut StdRng,
+        pool: &WorkerPool,
     ) -> (f64, f64) {
         let b = batch.len();
         let m = batch.m;
@@ -490,85 +727,7 @@ impl Trainer {
         let users = backbone.user_factors();
         let items = backbone.item_factors();
         let chunks = row_chunks(b, shard_grads.len());
-        let cache_negs = score_kind == TrainScore::Cosine;
-        scratch.ensure_sampled(b, m, d, cache_negs);
-
-        // Pass 1 — scores, row-sharded into disjoint scratch slices; each
-        // shard normalizes its negative blocks once (cached for pass 2)
-        // and scores them with blocked matvecs. The distance-scored path
-        // carves empty `nh`/`nn` slices — it never reads them.
-        std::thread::scope(|scope| {
-            let mut uh_rest = &mut scratch.user_hat[..b * d];
-            let mut un_rest = &mut scratch.user_norm[..b];
-            let mut ph_rest = &mut scratch.pos_hat[..b * d];
-            let mut pn_rest = &mut scratch.pos_norm[..b];
-            let mut ps_rest = &mut scratch.pos_scores[..b];
-            let mut ns_rest = &mut scratch.neg_scores[..b * m];
-            let mut nh_rest: &mut [f32] =
-                if cache_negs { &mut scratch.neg_hat[..b * m * d] } else { &mut [] };
-            let mut nn_rest: &mut [f32] =
-                if cache_negs { &mut scratch.neg_norms[..b * m] } else { &mut [] };
-            for range in &chunks {
-                let rows = range.len();
-                let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
-                uh_rest = r;
-                let (un, r) = std::mem::take(&mut un_rest).split_at_mut(rows);
-                un_rest = r;
-                let (ph, r) = std::mem::take(&mut ph_rest).split_at_mut(rows * d);
-                ph_rest = r;
-                let (pn, r) = std::mem::take(&mut pn_rest).split_at_mut(rows);
-                pn_rest = r;
-                let (ps, r) = std::mem::take(&mut ps_rest).split_at_mut(rows);
-                ps_rest = r;
-                let (ns, r) = std::mem::take(&mut ns_rest).split_at_mut(rows * m);
-                ns_rest = r;
-                let (nh, r) = std::mem::take(&mut nh_rest).split_at_mut(if cache_negs {
-                    rows * m * d
-                } else {
-                    0
-                });
-                nh_rest = r;
-                let (nn, r) = std::mem::take(&mut nn_rest).split_at_mut(if cache_negs {
-                    rows * m
-                } else {
-                    0
-                });
-                nn_rest = r;
-                let range = range.clone();
-                scope.spawn(move || {
-                    for (li, row) in range.enumerate() {
-                        let u = batch.users[row] as usize;
-                        let i = batch.pos[row] as usize;
-                        match score_kind {
-                            TrainScore::Cosine => {
-                                un[li] =
-                                    normalize_into(users.row(u), &mut uh[li * d..(li + 1) * d]);
-                                pn[li] =
-                                    normalize_into(items.row(i), &mut ph[li * d..(li + 1) * d]);
-                                ps[li] = dot(&uh[li * d..(li + 1) * d], &ph[li * d..(li + 1) * d]);
-                                normalize_gather_into(
-                                    items,
-                                    batch.negs_of(row),
-                                    &mut nh[li * m * d..(li + 1) * m * d],
-                                    &mut nn[li * m..(li + 1) * m],
-                                );
-                                scores_block(
-                                    &uh[li * d..(li + 1) * d],
-                                    &nh[li * m * d..(li + 1) * m * d],
-                                    &mut ns[li * m..(li + 1) * m],
-                                );
-                            }
-                            TrainScore::NegSqDist => {
-                                ps[li] = -sq_dist(users.row(u), items.row(i));
-                                for (jj, &j) in batch.negs_of(row).iter().enumerate() {
-                                    ns[li * m + jj] = -sq_dist(users.row(u), items.row(j as usize));
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-        });
+        pass1_sampled_scores(pool, &chunks, batch, users, items, score_kind, scratch, b, m, d);
 
         let out = loss.compute(&ScoreBatch::new(
             &scratch.pos_scores[..b],
@@ -577,9 +736,10 @@ impl Trainer {
         ));
 
         // Pass 2 — chain score gradients into per-shard embedding
-        // gradients (private buffers, no write contention); negative unit
-        // vectors come from the pass-1 cache.
-        std::thread::scope(|scope| {
+        // gradients (private batch-footprint buffers, no write
+        // contention); negative unit vectors come from the pass-1 cache.
+        {
+            let mut jobs: Vec<Job> = Vec::with_capacity(chunks.len());
             let out = &out;
             let user_hat = &scratch.user_hat;
             let user_norm = &scratch.user_norm;
@@ -591,7 +751,7 @@ impl Trainer {
             let neg_norms = &scratch.neg_norms;
             for (range, gbuf) in chunks.iter().zip(shard_grads.iter_mut()) {
                 let range = range.clone();
-                scope.spawn(move || {
+                jobs.push(Box::new(move || {
                     for row in range {
                         let u = batch.users[row];
                         let i = batch.pos[row];
@@ -646,7 +806,7 @@ impl Trainer {
                             }
                             TrainScore::NegSqDist => {
                                 let urow = users.row(u as usize);
-                                let apply = |g: f32, item: u32, gbuf: &mut GradBuffer| {
+                                let apply = |g: f32, item: u32, gbuf: &mut ShardGrad| {
                                     if g == 0.0 {
                                         return;
                                     }
@@ -669,14 +829,15 @@ impl Trainer {
                             }
                         }
                     }
-                });
+                }));
             }
-        });
+            pool.run(jobs);
+        }
 
         // Fixed shard merge order keeps runs deterministic per thread
         // count.
         for sg in shard_grads.iter_mut() {
-            grads.merge_from(sg);
+            sg.merge_into(grads);
             sg.clear();
         }
         let aux = backbone.step(grads, &batch.users, &batch.pos, hyper, rng);
@@ -818,11 +979,12 @@ impl Trainer {
     }
 
     /// The sharded counterpart of [`Trainer::step_in_batch`]: the `B × B`
-    /// similarity matrix is computed by row chunks, and the gradient pass
-    /// accumulates into per-shard buffers merged in shard order. A row's
-    /// negatives touch *other* rows' positive items, so shards write
-    /// overlapping item rows — private buffers plus the ordered merge keep
-    /// that exact and deterministic per thread count.
+    /// similarity matrix is computed by row chunks on the persistent
+    /// [`WorkerPool`], and the gradient pass accumulates into per-shard
+    /// batch-footprint buffers merged in shard order. A row's negatives
+    /// touch *other* rows' positive items, so shards write overlapping
+    /// item rows — private buffers plus the ordered merge keep that exact
+    /// and deterministic per thread count.
     #[allow(clippy::too_many_arguments)] // mirrors step_in_batch + the shard buffers
     fn step_in_batch_par(
         &self,
@@ -830,10 +992,11 @@ impl Trainer {
         loss: &dyn RankingLoss,
         batch: &TrainBatch,
         grads: &mut GradBuffer,
-        shard_grads: &mut [GradBuffer],
+        shard_grads: &mut [ShardGrad],
         scratch: &mut StepScratch,
         hyper: Hyper,
         rng: &mut StdRng,
+        pool: &WorkerPool,
     ) -> (f64, f64) {
         let b = batch.len();
         let m = b - 1;
@@ -842,56 +1005,7 @@ impl Trainer {
         let users = backbone.user_factors();
         let items = backbone.item_factors();
         let chunks = row_chunks(b, shard_grads.len());
-        scratch.ensure_in_batch(b, d);
-
-        // Normalize each row's user and positive item once, row-sharded
-        // (blocked gather per shard; `pos_hat`/`pos_norm` hold the item
-        // side).
-        std::thread::scope(|scope| {
-            let mut uh_rest = &mut scratch.user_hat[..b * d];
-            let mut ih_rest = &mut scratch.pos_hat[..b * d];
-            let mut un_rest = &mut scratch.user_norm[..b];
-            let mut in_rest = &mut scratch.pos_norm[..b];
-            for range in &chunks {
-                let rows = range.len();
-                let (uh, r) = std::mem::take(&mut uh_rest).split_at_mut(rows * d);
-                uh_rest = r;
-                let (ih, r) = std::mem::take(&mut ih_rest).split_at_mut(rows * d);
-                ih_rest = r;
-                let (un, r) = std::mem::take(&mut un_rest).split_at_mut(rows);
-                un_rest = r;
-                let (inorm, r) = std::mem::take(&mut in_rest).split_at_mut(rows);
-                in_rest = r;
-                let range = range.clone();
-                scope.spawn(move || {
-                    normalize_gather_into(users, &batch.users[range.clone()], uh, un);
-                    normalize_gather_into(items, &batch.pos[range], ih, inorm);
-                });
-            }
-        });
-
-        // Full similarity matrix S[a][c] = cos(user_a, item_c), by row
-        // chunks (every worker reads all of the item block) — one blocked
-        // matvec per user row.
-        std::thread::scope(|scope| {
-            let user_hat = &scratch.user_hat;
-            let item_hat = &scratch.pos_hat[..b * d];
-            let mut s_rest = &mut scratch.sims[..b * b];
-            for range in &chunks {
-                let (srows, r) = std::mem::take(&mut s_rest).split_at_mut(range.len() * b);
-                s_rest = r;
-                let range = range.clone();
-                scope.spawn(move || {
-                    for (li, a) in range.enumerate() {
-                        scores_block(
-                            &user_hat[a * d..(a + 1) * d],
-                            item_hat,
-                            &mut srows[li * b..(li + 1) * b],
-                        );
-                    }
-                });
-            }
-        });
+        pass1_in_batch_scores(pool, &chunks, batch, users, items, scratch, b, d);
 
         for a in 0..b {
             scratch.pos_scores[a] = scratch.sims[a * b + a];
@@ -912,7 +1026,8 @@ impl Trainer {
         // Gradient pass, row-sharded into private buffers; the column item
         // of slot (a, jj) is row c, which may belong to another shard —
         // hence per-shard accumulation instead of in-place writes.
-        std::thread::scope(|scope| {
+        {
+            let mut jobs: Vec<Job> = Vec::with_capacity(chunks.len());
             let out = &out;
             let user_hat = &scratch.user_hat;
             let item_hat = &scratch.pos_hat;
@@ -922,7 +1037,7 @@ impl Trainer {
             let neg_scores = &scratch.neg_scores;
             for (range, gbuf) in chunks.iter().zip(shard_grads.iter_mut()) {
                 let range = range.clone();
-                scope.spawn(move || {
+                jobs.push(Box::new(move || {
                     for a in range {
                         let ua = &user_hat[a * d..(a + 1) * d];
                         let ia = &item_hat[a * d..(a + 1) * d];
@@ -985,17 +1100,267 @@ impl Trainer {
                             );
                         }
                     }
-                });
+                }));
             }
-        });
+            pool.run(jobs);
+        }
 
         for sg in shard_grads.iter_mut() {
-            grads.merge_from(sg);
+            sg.merge_into(grads);
             sg.clear();
         }
         let aux = backbone.step(grads, &batch.users, &batch.pos, hyper, rng);
         grads.clear();
         (out.loss, aux)
+    }
+
+    /// Hogwild version of the sampled step: pass 1 scores exactly like
+    /// [`Trainer::step_sampled_par`], then pass 2 workers chain gradients
+    /// from the cached unit vectors and apply plain-SGD updates **in
+    /// place** through a lock-free [`HogwildView`] — no gradient shards,
+    /// no merge, no Adam state. Racy and therefore non-reproducible;
+    /// `fit_backbone` only routes here for cosine-scored backbones whose
+    /// final embeddings are their parameters.
+    fn step_sampled_hogwild(
+        &self,
+        backbone: &mut dyn Backbone,
+        loss: &dyn RankingLoss,
+        batch: &TrainBatch,
+        scratch: &mut StepScratch,
+        hyper: Hyper,
+        pool: &WorkerPool,
+    ) -> (f64, f64) {
+        let b = batch.len();
+        let m = batch.m;
+        let d = backbone.out_dim();
+        debug_assert_eq!(backbone.train_score(), TrainScore::Cosine, "hogwild assumes cosine");
+        let chunks = row_chunks(b, pool.n_workers());
+
+        // Pass 1 — the exact path's sharded scoring, verbatim, over
+        // read-only embeddings (the batch barrier below means pass-2
+        // writes never race these reads).
+        {
+            let users = backbone.user_factors();
+            let items = backbone.item_factors();
+            pass1_sampled_scores(
+                pool,
+                &chunks,
+                batch,
+                users,
+                items,
+                TrainScore::Cosine,
+                scratch,
+                b,
+                m,
+                d,
+            );
+        }
+
+        let out = loss.compute(&ScoreBatch::new(
+            &scratch.pos_scores[..b],
+            &scratch.neg_scores[..b * m],
+            m,
+        ));
+
+        // Pass 2 — in-place lock-free SGD from the pass-1 unit-vector
+        // cache (embedding reads during the backward all come from
+        // scratch, so mid-pass updates never corrupt the chain rule; they
+        // only race other rows' updates, which is the Hogwild deal).
+        let (user_emb, item_emb) =
+            backbone.params_mut().expect("fit_backbone verified hogwild support");
+        let uview = HogwildView::new(user_emb);
+        let iview = HogwildView::new(item_emb);
+        {
+            let mut jobs: Vec<Job> = Vec::with_capacity(chunks.len());
+            let out = &out;
+            let uview = &uview;
+            let iview = &iview;
+            let user_hat = &scratch.user_hat;
+            let user_norm = &scratch.user_norm;
+            let pos_hat = &scratch.pos_hat;
+            let pos_norm = &scratch.pos_norm;
+            let pos_scores = &scratch.pos_scores;
+            let neg_scores = &scratch.neg_scores;
+            let neg_hat = &scratch.neg_hat;
+            let neg_norms = &scratch.neg_norms;
+            for range in &chunks {
+                let range = range.clone();
+                jobs.push(Box::new(move || {
+                    let mut gbuf = vec![0.0f32; d];
+                    let mut prow = vec![0.0f32; d];
+                    for row in range {
+                        let u = batch.users[row];
+                        let i = batch.pos[row];
+                        let uhat = &user_hat[row * d..(row + 1) * d];
+                        let ihat = &pos_hat[row * d..(row + 1) * d];
+                        let g = out.grad_pos[row];
+                        let s = pos_scores[row];
+                        let gs = &out.grad_neg[row * m..(row + 1) * m];
+                        let ss = &neg_scores[row * m..(row + 1) * m];
+                        let nh = &neg_hat[row * m * d..(row + 1) * m * d];
+                        let nn = &neg_norms[row * m..(row + 1) * m];
+                        // User side: positive + whole negative block into
+                        // one local gradient row, then one apply.
+                        gbuf.fill(0.0);
+                        cosine_backward_into(g, s, uhat, ihat, user_norm[row], &mut gbuf);
+                        cosine_backward_block(gs, ss, uhat, user_norm[row], nh, &mut gbuf);
+                        hogwild_apply(uview, u, &gbuf, &mut prow, hyper);
+                        // Positive item.
+                        gbuf.fill(0.0);
+                        cosine_backward_into(g, s, ihat, uhat, pos_norm[row], &mut gbuf);
+                        hogwild_apply(iview, i, &gbuf, &mut prow, hyper);
+                        // Negative items.
+                        for (jj, &j) in batch.negs_of(row).iter().enumerate() {
+                            let gn = gs[jj];
+                            if gn == 0.0 {
+                                continue;
+                            }
+                            gbuf.fill(0.0);
+                            cosine_backward_into(
+                                gn,
+                                ss[jj],
+                                &nh[jj * d..(jj + 1) * d],
+                                uhat,
+                                nn[jj],
+                                &mut gbuf,
+                            );
+                            hogwild_apply(iview, j, &gbuf, &mut prow, hyper);
+                        }
+                    }
+                }));
+            }
+            pool.run(jobs);
+        }
+        (out.loss, 0.0)
+    }
+
+    /// Hogwild version of the in-batch step: pass 1 builds the `B × B`
+    /// similarity matrix exactly like [`Trainer::step_in_batch_par`], then
+    /// workers apply in-place SGD updates through a [`HogwildView`]. Item
+    /// rows receive one racy update per batch row that uses them as a
+    /// negative (instead of one merged update), which is the Hogwild
+    /// approximation at its most contended.
+    fn step_in_batch_hogwild(
+        &self,
+        backbone: &mut dyn Backbone,
+        loss: &dyn RankingLoss,
+        batch: &TrainBatch,
+        scratch: &mut StepScratch,
+        hyper: Hyper,
+        pool: &WorkerPool,
+    ) -> (f64, f64) {
+        let b = batch.len();
+        let m = b - 1;
+        let d = backbone.out_dim();
+        debug_assert_eq!(backbone.train_score(), TrainScore::Cosine, "in-batch assumes cosine");
+        let chunks = row_chunks(b, pool.n_workers());
+
+        // Pass 1 — the exact path's blocked gather-normalize + similarity
+        // rows, verbatim.
+        {
+            let users = backbone.user_factors();
+            let items = backbone.item_factors();
+            pass1_in_batch_scores(pool, &chunks, batch, users, items, scratch, b, d);
+        }
+
+        for a in 0..b {
+            scratch.pos_scores[a] = scratch.sims[a * b + a];
+            let mut jj = 0;
+            for c in 0..b {
+                if c != a {
+                    scratch.neg_scores[a * m + jj] = scratch.sims[a * b + c];
+                    jj += 1;
+                }
+            }
+        }
+        let out = loss.compute(&ScoreBatch::new(
+            &scratch.pos_scores[..b],
+            &scratch.neg_scores[..b * m],
+            m,
+        ));
+
+        // Pass 2 — in-place lock-free SGD from the cached unit vectors.
+        let (user_emb, item_emb) =
+            backbone.params_mut().expect("fit_backbone verified hogwild support");
+        let uview = HogwildView::new(user_emb);
+        let iview = HogwildView::new(item_emb);
+        {
+            let mut jobs: Vec<Job> = Vec::with_capacity(chunks.len());
+            let out = &out;
+            let uview = &uview;
+            let iview = &iview;
+            let user_hat = &scratch.user_hat;
+            let item_hat = &scratch.pos_hat;
+            let user_norm = &scratch.user_norm;
+            let item_norm = &scratch.pos_norm;
+            let pos_scores = &scratch.pos_scores;
+            let neg_scores = &scratch.neg_scores;
+            for range in &chunks {
+                let range = range.clone();
+                jobs.push(Box::new(move || {
+                    let mut gbuf = vec![0.0f32; d];
+                    let mut prow = vec![0.0f32; d];
+                    for a in range {
+                        let ua = &user_hat[a * d..(a + 1) * d];
+                        let ia = &item_hat[a * d..(a + 1) * d];
+                        let g = out.grad_pos[a];
+                        let s = pos_scores[a];
+                        let gs = &out.grad_neg[a * m..(a + 1) * m];
+                        let ss = &neg_scores[a * m..(a + 1) * m];
+                        // User side: positive + the two contiguous item
+                        // halves around the diagonal, one apply.
+                        gbuf.fill(0.0);
+                        cosine_backward_into(g, s, ua, ia, user_norm[a], &mut gbuf);
+                        cosine_backward_block(
+                            &gs[..a],
+                            &ss[..a],
+                            ua,
+                            user_norm[a],
+                            &item_hat[..a * d],
+                            &mut gbuf,
+                        );
+                        cosine_backward_block(
+                            &gs[a..],
+                            &ss[a..],
+                            ua,
+                            user_norm[a],
+                            &item_hat[(a + 1) * d..b * d],
+                            &mut gbuf,
+                        );
+                        hogwild_apply(uview, batch.users[a], &gbuf, &mut prow, hyper);
+                        // Own positive item.
+                        gbuf.fill(0.0);
+                        cosine_backward_into(g, s, ia, ua, item_norm[a], &mut gbuf);
+                        hogwild_apply(iview, batch.pos[a], &gbuf, &mut prow, hyper);
+                        // Other rows' positives used as negatives here.
+                        let mut jj = 0;
+                        for c in 0..b {
+                            if c == a {
+                                continue;
+                            }
+                            let gn = gs[jj];
+                            let sn = ss[jj];
+                            jj += 1;
+                            if gn == 0.0 {
+                                continue;
+                            }
+                            gbuf.fill(0.0);
+                            cosine_backward_into(
+                                gn,
+                                sn,
+                                &item_hat[c * d..(c + 1) * d],
+                                ua,
+                                item_norm[c],
+                                &mut gbuf,
+                            );
+                            hogwild_apply(iview, batch.pos[c], &gbuf, &mut prow, hyper);
+                        }
+                    }
+                }));
+            }
+            pool.run(jobs);
+        }
+        (out.loss, 0.0)
     }
 }
 

@@ -396,6 +396,28 @@ mod portable {
 mod avx2 {
     use std::arch::x86_64::*;
 
+    /// Lane-activation masks for tail loads: `TAIL_MASKS[r]` activates the
+    /// first `r` lanes (sign bit set ⇒ lane loaded/stored by
+    /// `maskload`/`maskstore`, cleared ⇒ lane reads as 0.0 / is skipped).
+    const TAIL_MASKS: [[i32; 8]; 8] = [
+        [0, 0, 0, 0, 0, 0, 0, 0],
+        [-1, 0, 0, 0, 0, 0, 0, 0],
+        [-1, -1, 0, 0, 0, 0, 0, 0],
+        [-1, -1, -1, 0, 0, 0, 0, 0],
+        [-1, -1, -1, -1, 0, 0, 0, 0],
+        [-1, -1, -1, -1, -1, 0, 0, 0],
+        [-1, -1, -1, -1, -1, -1, 0, 0],
+        [-1, -1, -1, -1, -1, -1, -1, 0],
+    ];
+
+    /// The `__m256i` mask activating the first `rem < 8` lanes.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tail_mask(rem: usize) -> __m256i {
+        debug_assert!(rem < 8);
+        _mm256_loadu_si256(TAIL_MASKS[rem].as_ptr().cast())
+    }
+
     /// Horizontal sum of an 8-lane register (pairwise).
     #[inline]
     #[target_feature(enable = "avx2,fma")]
@@ -429,12 +451,17 @@ mod avx2 {
             acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
             i += 8;
         }
-        let mut acc = hsum(_mm256_add_ps(acc0, acc1));
-        while i < n {
-            acc = f32::mul_add(*pa.add(i), *pb.add(i), acc);
-            i += 1;
+        if i < n {
+            // Masked tail: inactive lanes load as 0.0 and contribute
+            // nothing — no per-element scalar loop at odd dims.
+            let mask = tail_mask(n - i);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_maskload_ps(pa.add(i), mask),
+                _mm256_maskload_ps(pb.add(i), mask),
+                acc1,
+            );
         }
-        acc
+        hsum(_mm256_add_ps(acc0, acc1))
     }
 
     #[inline]
@@ -454,9 +481,15 @@ mod avx2 {
             _mm256_storeu_ps(py.add(i), r);
             i += 8;
         }
-        while i < n {
-            *py.add(i) = f32::mul_add(alpha, *px.add(i), *py.add(i));
-            i += 1;
+        if i < n {
+            // Masked tail: load/compute/store only the live lanes.
+            let mask = tail_mask(n - i);
+            let r = _mm256_fmadd_ps(
+                va,
+                _mm256_maskload_ps(px.add(i), mask),
+                _mm256_maskload_ps(py.add(i), mask),
+            );
+            _mm256_maskstore_ps(py.add(i), mask, r);
         }
     }
 
@@ -593,15 +626,14 @@ mod avx2 {
             a1 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(p1.add(i)), a1);
             i += 8;
         }
-        let mut s0 = hsum(a0);
-        let mut s1 = hsum(a1);
-        while i < n {
-            let qv = *pq.add(i);
-            s0 = f32::mul_add(qv, *p0.add(i), s0);
-            s1 = f32::mul_add(qv, *p1.add(i), s1);
-            i += 1;
+        if i < n {
+            // Masked tail shared across both rows (odd-dim fix).
+            let mask = tail_mask(n - i);
+            let vq = _mm256_maskload_ps(pq.add(i), mask);
+            a0 = _mm256_fmadd_ps(vq, _mm256_maskload_ps(p0.add(i), mask), a0);
+            a1 = _mm256_fmadd_ps(vq, _mm256_maskload_ps(p1.add(i), mask), a1);
         }
-        (s0, s1)
+        (hsum(a0), hsum(a1))
     }
 
     /// `out[j] = <q, block[j·d ..]>` for an `M × d` row block, two rows
@@ -939,11 +971,42 @@ pub fn normalize_rows_into(src: &Matrix, dst: &mut Matrix, norms: &mut [f32]) {
     }
 }
 
+/// How many gather rows ahead [`normalize_gather_into`] prefetches. Far
+/// enough to cover DRAM latency at catalogue scale (a ~250 ns miss vs
+/// ~30 ns of work per row at d = 64), near enough not to thrash L1.
+#[cfg(target_arch = "x86_64")]
+const GATHER_PREFETCH_AHEAD: usize = 8;
+
+/// Issues T0 prefetches for every cache line of `src.row(id)`.
+///
+/// Gathered negative rows are random accesses into a catalogue-scale item
+/// table; prefetching a few ids ahead overlaps their DRAM misses with the
+/// current row's normalize work. A prefetch is a pure hint (no memory is
+/// dereferenced, faulting addresses are ignored by the hardware), so this
+/// is safe for any in-bounds row.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // _mm_prefetch is an intrinsic hint; see above
+#[inline]
+fn prefetch_row(src: &Matrix, id: u32) {
+    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+    let row = src.row(id as usize);
+    let bytes = std::mem::size_of_val(row);
+    let base = row.as_ptr().cast::<i8>();
+    let mut off = 0usize;
+    while off < bytes {
+        // SAFETY: `base + off` stays within the row's allocation.
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(base.add(off)) };
+        off += 64;
+    }
+}
+
 /// Gathers rows `ids` of `src` and L2-normalizes each into the contiguous
 /// `ids.len() × d` block `dst`, writing raw norms into `norms`.
 ///
 /// This is the batch form the trainer uses for negative-item blocks: one
-/// dispatch, no intermediate gather copy.
+/// dispatch, no intermediate gather copy, and the upcoming rows are
+/// software-prefetched so catalogue-scale item tables don't stall the
+/// normalize loop on DRAM (see `normalize_gather_*` in the kernels bench).
 ///
 /// # Panics
 /// Panics if `dst`/`norms` lengths disagree with `ids.len()` and
@@ -953,7 +1016,19 @@ pub fn normalize_gather_into(src: &Matrix, ids: &[u32], dst: &mut [f32], norms: 
     assert_eq!(dst.len(), ids.len() * d, "normalize_gather_into block size mismatch");
     assert_eq!(norms.len(), ids.len(), "normalize_gather_into norms length mismatch");
     let lv = active();
-    for ((&id, out), n) in ids.iter().zip(dst.chunks_exact_mut(d)).zip(norms.iter_mut()) {
+    #[cfg(target_arch = "x86_64")]
+    for &id in ids.iter().take(GATHER_PREFETCH_AHEAD) {
+        prefetch_row(src, id);
+    }
+    for (j, ((&id, out), n)) in
+        ids.iter().zip(dst.chunks_exact_mut(d)).zip(norms.iter_mut()).enumerate()
+    {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(&ahead) = ids.get(j + GATHER_PREFETCH_AHEAD) {
+            prefetch_row(src, ahead);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = j;
         *n = normalize_into_with(lv, src.row(id as usize), out);
     }
 }
@@ -1318,6 +1393,50 @@ mod tests {
                 }
                 for (x, w) in vg.iter().zip(vw.iter()) {
                     prop_assert!(rel_close(*x, *w, 1e-4), "{lv} v");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Odd dims straddling the 8-lane boundary (d = 13/15) exercise
+        /// the AVX2 masked tail loads in `dot`, `axpy` and the two-row
+        /// `scores_block` microkernel: every level must agree with scalar.
+        #[test]
+        fn prop_masked_tails_at_d13_d15(seed in 0u64..300) {
+            for d in [13usize, 15] {
+                let a: Vec<f32> = (0..d)
+                    .map(|i| (((i as u64 * 31 + seed * 7) % 23) as f32) * 0.21 - 2.3)
+                    .collect();
+                let b: Vec<f32> = (0..d)
+                    .map(|i| (((i as u64 * 17 + seed * 13) % 19) as f32) * 0.27 - 2.5)
+                    .collect();
+                let want_dot = scalar::dot(&a, &b);
+                let mut want_axpy = b.clone();
+                scalar::axpy(0.37, &a, &mut want_axpy);
+                for lv in simd_levels() {
+                    prop_assert!(rel_close(dot_with(lv, &a, &b), want_dot, 1e-4), "{lv} dot d={d}");
+                    let mut got = b.clone();
+                    axpy_with(lv, 0.37, &a, &mut got);
+                    for (g, w) in got.iter().zip(want_axpy.iter()) {
+                        prop_assert!(rel_close(*g, *w, 1e-4), "{lv} axpy d={d}: {g} vs {w}");
+                    }
+                }
+                // scores_block runs the dispatched level (covers the AVX2
+                // dot2 microkernel's masked tail when available): odd M so
+                // both the paired and the single-row paths run.
+                let m = 5usize;
+                let block: Vec<f32> = (0..m * d)
+                    .map(|i| (((i as u64 * 11 + seed) % 29) as f32) * 0.17 - 2.4)
+                    .collect();
+                let mut want = vec![0.0f32; m];
+                for (o, row) in want.iter_mut().zip(block.chunks_exact(d)) {
+                    *o = scalar::dot(&a, row);
+                }
+                let mut got = vec![0.0f32; m];
+                scores_block(&a, &block, &mut got);
+                for (x, w) in got.iter().zip(want.iter()) {
+                    prop_assert!(rel_close(*x, *w, 1e-4), "scores_block d={d}");
                 }
             }
         }

@@ -36,6 +36,7 @@ pub mod mf;
 pub mod ngcf;
 pub mod propagation;
 pub mod sgl;
+pub mod shard;
 pub mod simgcl;
 pub mod ultragcn;
 
@@ -47,4 +48,5 @@ pub use lrgccf::LrGccf;
 pub use mf::Mf;
 pub use ngcf::Ngcf;
 pub use sgl::Sgl;
+pub use shard::ShardGrad;
 pub use simgcl::SimGcl;

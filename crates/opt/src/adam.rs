@@ -18,6 +18,9 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u64,
+    /// Reusable dedup scratch for [`Adam::step_rows`], lazily sized to the
+    /// row count once and reset per call in O(touched rows).
+    seen: Vec<bool>,
 }
 
 impl Adam {
@@ -36,7 +39,15 @@ impl Adam {
         assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1), got {beta1}");
         assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1), got {beta2}");
         assert!(eps > 0.0, "eps must be positive");
-        Self { m: Matrix::zeros(rows, cols), v: Matrix::zeros(rows, cols), beta1, beta2, eps, t: 0 }
+        Self {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            seen: Vec::new(),
+        }
     }
 
     /// Number of steps taken so far.
@@ -114,16 +125,25 @@ impl Adam {
     pub fn step_rows(&mut self, param: &mut Matrix, grad: &Matrix, rows: &[u32], lr: f32) {
         assert_eq!(param.shape(), grad.shape(), "adam gradient shape mismatch");
         self.begin_step();
-        let mut seen = vec![false; param.rows()];
+        // Dedup via the persistent `seen` scratch: one lazy allocation per
+        // optimizer, reset below in O(touched) — per-call cost scales with
+        // the batch footprint, not the parameter row count.
+        if self.seen.len() < param.rows() {
+            self.seen.resize(param.rows(), false);
+        }
+        // Split borrow via one reused row copy (rows are short: d ≤ 512).
+        let mut g = vec![0.0f32; param.cols()];
         for &r in rows {
             let r = r as usize;
-            if seen[r] {
+            if self.seen[r] {
                 continue;
             }
-            seen[r] = true;
-            // Split borrow via raw row copy (rows are short: d ≤ 512).
-            let g: Vec<f32> = grad.row(r).to_vec();
+            self.seen[r] = true;
+            g.copy_from_slice(grad.row(r));
             self.update_row(param.row_mut(r), r, &g, lr);
+        }
+        for &r in rows {
+            self.seen[r as usize] = false;
         }
     }
 }

@@ -16,4 +16,4 @@ pub mod sgd;
 
 pub use adam::Adam;
 pub use schedule::LrSchedule;
-pub use sgd::Sgd;
+pub use sgd::{sgd_step_row, Sgd};

@@ -12,6 +12,7 @@ pub mod alias;
 pub mod batch;
 pub mod negative;
 pub mod par_batch;
+pub mod pool;
 
 pub use alias::AliasTable;
 pub use batch::{BatchIter, TrainBatch};
@@ -20,3 +21,4 @@ pub use negative::{
     MAX_REJECTIONS,
 };
 pub use par_batch::{epoch_batches, ParBatchIter};
+pub use pool::{PooledEpochIter, SamplerPool};

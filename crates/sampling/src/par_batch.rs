@@ -7,6 +7,14 @@
 //! consumer (the trainer) therefore overlaps negative sampling with
 //! gradient computation while seeing batches in exactly the serial order.
 //!
+//! Since the persistent-pool engine landed, `ParBatchIter` is a
+//! convenience wrapper that owns a single-epoch [`SamplerPool`]: it
+//! spawns its shard workers at construction and joins them on drop.
+//! Long-running consumers (the multi-threaded `Trainer`) hold one
+//! `SamplerPool` for their whole lifetime and call
+//! [`SamplerPool::start_epoch`] per epoch instead, which produces the
+//! *same* batch stream without any per-epoch thread spawning.
+//!
 //! # Determinism contract
 //!
 //! * The pair shuffle and batch boundaries depend only on `seed` — the
@@ -20,37 +28,19 @@
 
 use crate::batch::{BatchIter, TrainBatch};
 use crate::negative::NegativeSampler;
+use crate::pool::{PooledEpochIter, SamplerPool};
 use bsl_data::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-
-/// Batches buffered per shard before its worker blocks; small enough to
-/// bound memory at `n_shards · DEPTH · batch_size · (m + 2)` ids, large
-/// enough to keep samplers ahead of the training step.
-const CHANNEL_DEPTH: usize = 2;
-
-/// Derives shard `s`'s RNG seed from the epoch seed with one SplitMix64
-/// finalizer round, so nearby `(seed, shard)` pairs land on unrelated
-/// streams.
-fn shard_seed(seed: u64, shard: u64) -> u64 {
-    let mut z = seed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Multi-threaded epoch iterator yielding the same `(user, positive)`
 /// stream as [`BatchIter`] with negatives sampled on `n_shards` worker
 /// threads. See the [module docs](self) for the determinism contract.
 pub struct ParBatchIter {
-    rxs: Vec<Receiver<TrainBatch>>,
-    handles: Vec<JoinHandle<()>>,
-    n_shards: usize,
-    n_batches: usize,
-    yielded: usize,
+    // Field order matters: the epoch iterator must drop before the pool
+    // (dropping the batch receivers is what unblocks workers still
+    // sending, letting the pool's drop join them).
+    inner: PooledEpochIter,
+    _pool: SamplerPool,
 }
 
 impl ParBatchIter {
@@ -66,77 +56,14 @@ impl ParBatchIter {
         seed: u64,
         n_shards: usize,
     ) -> Self {
-        assert!(batch_size > 0, "batch_size must be positive");
-        assert!(m > 0, "need at least one negative per row");
-        assert!(n_shards > 0, "need at least one shard");
-
-        // Identical shuffle to BatchIter: same RNG, same Fisher–Yates.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut pairs = ds.train_pairs();
-        for i in (1..pairs.len()).rev() {
-            pairs.swap(i, rng.gen_range(0..=i));
-        }
-        let pairs = Arc::new(pairs);
-        let n_batches = pairs.len().div_ceil(batch_size);
-
-        let mut rxs = Vec::with_capacity(n_shards);
-        let mut handles = Vec::with_capacity(n_shards);
-        for s in 0..n_shards {
-            let (tx, rx): (SyncSender<TrainBatch>, Receiver<TrainBatch>) =
-                std::sync::mpsc::sync_channel(CHANNEL_DEPTH);
-            rxs.push(rx);
-            // Shard 0 continues the post-shuffle stream so a single shard
-            // reproduces the serial iterator bit-for-bit; the rest split
-            // fresh streams off the epoch seed.
-            let shard_rng = if s == 0 {
-                rng.clone()
-            } else {
-                StdRng::seed_from_u64(shard_seed(seed, s as u64))
-            };
-            let pairs = Arc::clone(&pairs);
-            let sampler = Arc::clone(&sampler);
-            handles.push(std::thread::spawn(move || {
-                shard_worker(&pairs, sampler.as_ref(), batch_size, m, s, n_shards, shard_rng, &tx);
-            }));
-        }
-        Self { rxs, handles, n_shards, n_batches, yielded: 0 }
+        let pool = SamplerPool::new(n_shards);
+        let inner = pool.start_epoch(ds, &sampler, batch_size, m, seed);
+        Self { inner, _pool: pool }
     }
 
     /// Total number of batches this epoch will yield.
     pub fn n_batches(&self) -> usize {
-        self.n_batches
-    }
-}
-
-/// Builds every `n_shards`-th batch starting at `shard`, in order, until
-/// the epoch ends or the consumer goes away.
-#[allow(clippy::too_many_arguments)] // private worker fn; the args are the captured loop state
-fn shard_worker(
-    pairs: &[(u32, u32)],
-    sampler: &dyn NegativeSampler,
-    batch_size: usize,
-    m: usize,
-    shard: usize,
-    n_shards: usize,
-    mut rng: StdRng,
-    tx: &SyncSender<TrainBatch>,
-) {
-    let n_batches = pairs.len().div_ceil(batch_size);
-    for bi in (shard..n_batches).step_by(n_shards) {
-        let start = bi * batch_size;
-        let end = (start + batch_size).min(pairs.len());
-        let rows = &pairs[start..end];
-        let mut users = Vec::with_capacity(rows.len());
-        let mut pos = Vec::with_capacity(rows.len());
-        let mut negs = Vec::with_capacity(rows.len() * m);
-        for &(u, i) in rows {
-            users.push(u);
-            pos.push(i);
-            sampler.sample_into(u, m, &mut rng, &mut negs);
-        }
-        if tx.send(TrainBatch { users, pos, negs, m }).is_err() {
-            return; // consumer dropped the iterator mid-epoch
-        }
+        self.inner.n_batches()
     }
 }
 
@@ -144,28 +71,11 @@ impl Iterator for ParBatchIter {
     type Item = TrainBatch;
 
     fn next(&mut self) -> Option<TrainBatch> {
-        if self.yielded >= self.n_batches {
-            return None;
-        }
-        let shard = self.yielded % self.n_shards;
-        let batch = self.rxs[shard].recv().expect("batch shard worker died mid-epoch");
-        self.yielded += 1;
-        Some(batch)
+        self.inner.next()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = self.n_batches - self.yielded;
-        (left, Some(left))
-    }
-}
-
-impl Drop for ParBatchIter {
-    fn drop(&mut self) {
-        // Disconnect first so blocked senders exit, then reap the workers.
-        self.rxs.clear();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.inner.size_hint()
     }
 }
 

@@ -1,0 +1,89 @@
+//! The Hogwild accuracy/throughput trade-off, measured.
+//!
+//! Trains the same MF+BSL model on a Yelp-shaped synthetic dataset three
+//! ways — serial exact, multi-threaded exact (merge-then-step), and
+//! multi-threaded Hogwild (lock-free in-place SGD) — and prints wall
+//! clock, epochs/second, and NDCG@20 for each, so the cost of dropping
+//! gradient synchronization is a number, not folklore.
+//!
+//! ```bash
+//! cargo run --release --example hogwild_tradeoff [threads]
+//! ```
+//!
+//! Notes on reading the table: the exact rows are deterministic per
+//! `(seed, threads)`; the hogwild row is racy by design and moves a
+//! little run to run. Hogwild applies plain SGD (no Adam state can be
+//! shared lock-free), so its learning rate is retuned — comparing raw
+//! LRs across rows would be apples to oranges. On a single-core machine
+//! every multi-threaded row pays coordination overhead and the
+//! throughput column will favor serial.
+
+use bsl_core::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Row {
+    mode: &'static str,
+    secs: f64,
+    epochs: usize,
+    ndcg: f64,
+}
+
+fn run(mode: &'static str, cfg: TrainConfig, ds: &Arc<Dataset>) -> Row {
+    let trainer = Trainer::new(cfg);
+    // Warm the engine (spawns worker threads on the first fit) so the
+    // measured run is the steady state.
+    let _ = trainer.fit(&Arc::new(generate(&SynthConfig::tiny(3))));
+    let start = Instant::now();
+    let out = trainer.fit(ds);
+    Row { mode, secs: start.elapsed().as_secs_f64(), epochs: cfg.epochs, ndcg: out.best.ndcg(20) }
+}
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let ds = Arc::new(generate(&SynthConfig::yelp_like(1)));
+    println!(
+        "dataset: {} ({} users, {} items), threads: {threads}\n",
+        ds.name, ds.n_users, ds.n_items
+    );
+
+    let base = TrainConfig {
+        loss: LossConfig::Bsl { tau1: 0.3, tau2: 0.15 },
+        dim: 32,
+        epochs: 8,
+        eval_every: 8,
+        negatives: 64,
+        batch_size: 512,
+        patience: 0,
+        ..TrainConfig::smoke()
+    };
+    let rows = [
+        run("serial-exact", TrainConfig { threads: 1, ..base }, &ds),
+        run("sharded-exact", TrainConfig { threads, ..base }, &ds),
+        // Plain SGD needs a larger raw LR than Adam under batch-mean loss
+        // scaling (see tests/pool.rs).
+        run("hogwild", TrainConfig { threads, sync: SyncMode::Hogwild, lr: 4.0, ..base }, &ds),
+    ];
+
+    println!("| mode | wall s | epochs/s | NDCG@20 |");
+    println!("|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {:.2} | {:.2} | {:.4} |",
+            r.mode,
+            r.secs,
+            r.epochs as f64 / r.secs,
+            r.ndcg
+        );
+    }
+    let exact = rows[1].ndcg;
+    let hog = rows[2].ndcg;
+    println!(
+        "\nhogwild vs sharded-exact: {:+.2}% NDCG, {:.2}x throughput",
+        100.0 * (hog - exact) / exact,
+        rows[1].secs / rows[2].secs
+    );
+}

@@ -46,6 +46,25 @@ fn sharded_pipeline_reproducible_per_thread_count() {
 }
 
 #[test]
+fn pool_reuse_does_not_perturb_determinism() {
+    // The persistent engine lives as long as its Trainer: a second fit on
+    // the same trainer reuses the worker pool and the sampling shards, and
+    // must still replay the first fit bit for bit.
+    let ds = Arc::new(generate(&SynthConfig::tiny(77)));
+    let cfg = TrainConfig {
+        loss: LossConfig::Bsl { tau1: 0.3, tau2: 0.15 },
+        epochs: 2,
+        threads: 3,
+        ..TrainConfig::smoke()
+    };
+    let trainer = Trainer::new(cfg);
+    let a = trainer.fit(&ds);
+    let b = trainer.fit(&ds);
+    assert_eq!(a.best.ndcg(20), b.best.ndcg(20));
+    assert_eq!(a.user_emb.as_slice(), b.user_emb.as_slice());
+}
+
+#[test]
 fn different_seeds_differ() {
     let ds = Arc::new(generate(&SynthConfig::tiny(77)));
     let fit = |seed: u64| {

@@ -166,6 +166,58 @@ fn cml_and_lightgcn_paths_match_pre_simd_bits() {
 }
 
 #[test]
+fn pool_sharded_paths_match_pre_pool_bits() {
+    // Fingerprints captured from the scoped-thread + dense-GradBuffer
+    // sharded trainer *before* the persistent-pool engine and the sparse
+    // batch-footprint `ShardGrad` landed: the pool-fed exact path and its
+    // merge must replay those runs bit for bit.
+    force_scalar();
+    // MF at 4 shards (the sampled cosine path; threads = 3 is covered by
+    // sharded_path_matches_pre_simd_bits above).
+    let (ndcg, head) = fingerprint(TrainConfig { epochs: 3, threads: 4, ..TrainConfig::smoke() });
+    assert_eq!(ndcg, 0x3fcfc5d83800b2f9, "ndcg bits {ndcg:#018x}");
+    assert_eq!(
+        head,
+        vec![
+            1039595285u32,
+            3190949683,
+            3196074430,
+            3163493841,
+            3200018819,
+            1052294363,
+            3187344445,
+            1048965526
+        ],
+        "4-shard user embedding bits drifted from the pre-pool trainer"
+    );
+    // CML at 2 shards exercises the sharded NegSqDist branch, whose
+    // per-shard accumulation now runs through `ShardGrad`.
+    let (ndcg, head) = fingerprint(TrainConfig {
+        backbone: BackboneConfig::Cml,
+        loss: LossConfig::Hinge { margin: 0.5 },
+        epochs: 3,
+        lr: 0.05,
+        threads: 2,
+        ..TrainConfig::smoke()
+    });
+    assert_eq!(ndcg, 0x3fd719404a20e219, "cml ndcg bits {ndcg:#018x}");
+    assert_eq!(
+        head,
+        vec![
+            3172413512u32,
+            3187985239,
+            3197142904,
+            3190873487,
+            3203958618,
+            1054643012,
+            1008492216,
+            1042722254
+        ],
+        "sharded CML user embedding bits drifted from the pre-pool trainer"
+    );
+}
+
+#[test]
 fn forced_scalar_replays_bit_for_bit() {
     force_scalar();
     let cfg = TrainConfig { epochs: 3, ..TrainConfig::smoke() };
