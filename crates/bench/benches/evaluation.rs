@@ -2,7 +2,7 @@
 //! pays).
 
 use bsl_data::synth::{generate, SynthConfig};
-use bsl_eval::{evaluate, ScoreKind};
+use bsl_eval::{evaluate, evaluate_artifact, EvalScore, ModelArtifact};
 use bsl_linalg::Matrix;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -15,10 +15,17 @@ fn bench_eval(c: &mut Criterion) {
     let i = Matrix::gaussian(ds.n_items, 64, 0.1, &mut rng);
 
     c.bench_function("evaluate_yelp_d64_k20_dot", |b| {
-        b.iter(|| evaluate(black_box(&ds), &u, &i, ScoreKind::Dot, &[20]))
+        b.iter(|| evaluate(black_box(&ds), &u, &i, EvalScore::Dot, &[20]))
     });
     c.bench_function("evaluate_yelp_d64_multik_cosine", |b| {
-        b.iter(|| evaluate(black_box(&ds), &u, &i, ScoreKind::Cosine, &[5, 10, 15, 20]))
+        b.iter(|| evaluate(black_box(&ds), &u, &i, EvalScore::Cosine, &[5, 10, 15, 20]))
+    });
+    // The artifact path: preparation (normalization) paid once outside the
+    // timed loop — what repeated `TrainOutcome::evaluate_on` calls and
+    // serving-side evaluation actually cost.
+    let art = ModelArtifact::from_embeddings("MF", &u, &i, EvalScore::Cosine);
+    c.bench_function("evaluate_artifact_yelp_d64_multik", |b| {
+        b.iter(|| evaluate_artifact(black_box(&ds), &art, &[5, 10, 15, 20]))
     });
 }
 

@@ -1,0 +1,50 @@
+//! Serving-path benchmarks: batched top-k retrieval over a frozen
+//! artifact at Yelp catalogue scale — the per-request cost a deployed
+//! `Recommender` pays.
+
+use bsl_data::synth::{generate, SynthConfig};
+use bsl_linalg::Matrix;
+use bsl_models::{EvalScore, ModelArtifact};
+use bsl_serve::Recommender;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_serving(c: &mut Criterion) {
+    let ds = generate(&SynthConfig::yelp_like(1));
+    let mut rng = StdRng::seed_from_u64(0);
+    let u = Matrix::gaussian(ds.n_users, 64, 0.1, &mut rng);
+    let i = Matrix::gaussian(ds.n_items, 64, 0.1, &mut rng);
+    let art = ModelArtifact::from_embeddings("MF", &u, &i, EvalScore::Cosine);
+
+    // Artifact codec round-trip through memory (no disk noise).
+    c.bench_function("artifact_codec_roundtrip_yelp_d64", |b| {
+        b.iter(|| ModelArtifact::from_bytes(&black_box(&art).to_bytes()).expect("decode"))
+    });
+
+    let mut rec = Recommender::with_seen(art, &ds);
+    // A fixed 64-user request batch spread across the user space.
+    let stride = (ds.n_users / 64).max(1) as u32;
+    let batch: Vec<u32> = (0..64u32).map(|j| j * stride).collect();
+
+    // Warm the scratch so the measurement is the steady state.
+    let _ = rec.recommend_batch(&batch, 10);
+
+    c.bench_function("recommend_b64_k10_yelp_d64", |b| {
+        b.iter(|| rec.recommend_batch(black_box(&batch), 10))
+    });
+    let mut out = Vec::with_capacity(10);
+    c.bench_function("recommend_single_k10_yelp_d64", |b| {
+        b.iter(|| {
+            rec.recommend_into(black_box(batch[0]), 10, &mut out);
+            black_box(&out);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_serving
+}
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! The reproduction driver:
-//! `repro <experiment> [--scale quick|full] [--threads N] [--sync exact|hogwild]`.
+//! `repro <experiment> [--scale quick|full] [--threads N] [--sync exact|hogwild]`
+//! `repro --save <path> | --serve <path>`.
 //!
 //! One subcommand per table/figure of the paper's evaluation section (see
 //! DESIGN.md §6 for the experiment index). `all` runs everything in order.
@@ -9,6 +10,12 @@
 //! multi-threaded trainer to lock-free in-place updates
 //! ([`SyncMode::Hogwild`](bsl_core::SyncMode)) — faster on contended
 //! machines, not reproducible; only meaningful with `--threads != 1`.
+//!
+//! `--save <path>` trains MF + BSL and writes the exported
+//! `ModelArtifact` to disk; `--serve <path>` loads it back and prints
+//! top-10 recommendations for a few users — the on-disk round trip of the
+//! train→serve boundary. They may be combined in one invocation (save
+//! runs first) and need no experiment name.
 
 use bsl_bench::experiments::*;
 use bsl_bench::Scale;
@@ -22,6 +29,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale quick|full] [--threads N] [--sync exact|hogwild]"
     );
+    eprintln!("       repro --save <artifact-path>   train MF+BSL, export + save the artifact");
+    eprintln!("       repro --serve <artifact-path>  load an artifact, print top-10 per user");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
         "(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)"
@@ -60,9 +69,13 @@ fn main() {
     }
     let mut scale = Scale::Quick;
     let mut names: Vec<String> = Vec::new();
+    let mut save_path: Option<String> = None;
+    let mut serve_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--save" => save_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--serve" => serve_path = Some(it.next().unwrap_or_else(|| usage())),
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale = Scale::parse(&v).unwrap_or_else(|| usage());
@@ -84,7 +97,16 @@ fn main() {
             other => names.push(other.to_string()),
         }
     }
+    if let Some(path) = &save_path {
+        serve_demo::save(path, scale);
+    }
+    if let Some(path) = &serve_path {
+        serve_demo::serve(path);
+    }
     if names.is_empty() {
+        if save_path.is_some() || serve_path.is_some() {
+            return;
+        }
         usage();
     }
     for name in names {

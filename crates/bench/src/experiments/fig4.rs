@@ -8,12 +8,11 @@
 //!     0.13}: lower τ ⇒ more extreme weighting of hard negatives.
 
 use super::common::{base_cfg, classic_losses, fairness_dataset, header, row, run, tune_sl, Scale};
-use bsl_core::trainer::evaluate_embeddings;
 use bsl_core::TrainConfig;
 use bsl_dro::worst_case_weights;
 use bsl_eval::group_ndcg_restricted;
-use bsl_eval::ScoreKind;
 use bsl_linalg::kernels::{dot, normalize_into};
+use bsl_models::EvalScore;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +39,7 @@ pub fn run_exp(scale: Scale) {
             &ds,
             &out.user_emb,
             &out.item_emb,
-            ScoreKind::Cosine,
+            EvalScore::Cosine,
             &groups,
             N_GROUPS,
             20,
@@ -55,7 +54,7 @@ pub fn run_exp(scale: Scale) {
     println!("\n## Figure 4b — DRO worst-case weight vs prediction score\n");
     let (_, out) = &runs[runs.len() - 1];
     // Sanity: keep using the SL run's embeddings.
-    let _ = evaluate_embeddings(&ds, &out.user_emb, &out.item_emb, out.eval_score, &[20]);
+    let _ = out.evaluate_on(&ds, &[20]);
     // One "batch" of negative scores for a random user sample.
     let mut rng = StdRng::seed_from_u64(3);
     let d = out.user_emb.cols();

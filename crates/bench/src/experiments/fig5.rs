@@ -7,8 +7,9 @@
 
 use super::common::{base_cfg, fairness_dataset, header, row, run, Scale};
 use bsl_core::TrainConfig;
-use bsl_eval::{group_ndcg_restricted, ScoreKind};
+use bsl_eval::group_ndcg_restricted;
 use bsl_losses::LossConfig;
+use bsl_models::EvalScore;
 
 const N_GROUPS: usize = 10;
 
@@ -32,7 +33,7 @@ pub fn run_exp(scale: Scale) {
             &ds,
             &out.user_emb,
             &out.item_emb,
-            ScoreKind::Cosine,
+            EvalScore::Cosine,
             &groups,
             N_GROUPS,
             20,

@@ -1,0 +1,71 @@
+//! `repro --save` / `--serve`: round-trip a trained model through the
+//! artifact format on disk and answer retrieval queries from the loaded
+//! copy — the end-to-end proof that the train→serve boundary works
+//! outside the test suite.
+//!
+//! Both halves regenerate the same deterministic Yelp-shaped dataset, so
+//! `--serve` can rebuild the seen-item mask and name the held-out test
+//! items next to what the loaded model actually retrieves.
+
+use super::common::{base_cfg, Scale};
+use bsl_core::prelude::*;
+use bsl_data::synth::{generate, SynthConfig};
+use bsl_serve::Recommender;
+use std::sync::Arc;
+
+/// The dataset both halves of the round trip agree on.
+fn demo_dataset() -> Arc<Dataset> {
+    Arc::new(generate(&SynthConfig::yelp_like(7)))
+}
+
+/// Trains MF + BSL at `scale`, exports the best epoch's artifact, and
+/// saves it to `path`.
+pub fn save(path: &str, scale: Scale) {
+    let ds = demo_dataset();
+    println!("# Artifact save — {} — {}", ds.name, ds.stats());
+    let cfg = TrainConfig { loss: LossConfig::Bsl { tau1: 0.3, tau2: 0.15 }, ..base_cfg(scale) };
+    println!("training {} …", cfg.label());
+    let out = Trainer::new(cfg).fit(&ds);
+    println!("best epoch {} — NDCG@20 {:.4}", out.best_epoch, out.best.ndcg(20));
+    out.artifact.save(path).unwrap_or_else(|e| panic!("saving artifact to {path}: {e}"));
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {path}: backbone {} ({:?}), {} users × {} items, dim {}, {:.1} MiB",
+        out.artifact.backbone(),
+        out.artifact.similarity(),
+        out.artifact.n_users(),
+        out.artifact.n_items(),
+        out.artifact.dim(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+}
+
+/// Loads the artifact at `path` and prints top-10 recommendations for a
+/// few evaluable users, flagging retrieved items that are test-split hits.
+pub fn serve(path: &str) {
+    let art = ModelArtifact::load(path).unwrap_or_else(|e| panic!("loading {path}: {e}"));
+    println!(
+        "# Artifact serve — {path}: backbone {} ({:?}), {} users × {} items, dim {}",
+        art.backbone(),
+        art.similarity(),
+        art.n_users(),
+        art.n_items(),
+        art.dim()
+    );
+    let ds = demo_dataset();
+    let mut rec = Recommender::with_seen(art, &ds);
+    let users: Vec<u32> = ds.evaluable_users().into_iter().take(4).collect();
+    let k = 10;
+    for (u, recs) in users.iter().zip(rec.recommend_batch(&users, k)) {
+        let test = ds.test_items(*u as usize);
+        println!(
+            "\nuser {u} (train {} items, test {} items) — top {k}:",
+            ds.train_items(*u as usize).len(),
+            test.len()
+        );
+        for (rank, r) in recs.iter().enumerate() {
+            let hit = if test.binary_search(&r.item).is_ok() { "  << test hit" } else { "" };
+            println!("  {:>2}. item {:>6}  score {:+.4}{hit}", rank + 1, r.item, r.score);
+        }
+    }
+}

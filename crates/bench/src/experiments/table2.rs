@@ -6,9 +6,9 @@
 //! points whose mechanisms exceed a validatable from-scratch scope).
 
 use super::common::{base_cfg, header, lgn, row, run, suite, tune_bsl, tune_sl, Scale, GCN_LAYERS};
-use bsl_core::trainer::evaluate_embeddings;
 use bsl_core::TrainConfig;
 use bsl_data::Dataset;
+use bsl_eval::evaluate;
 use bsl_losses::LossConfig;
 use bsl_models::enmf::{train_enmf, EnmfConfig};
 use bsl_models::ultragcn::{train_ultragcn, UltraGcnConfig};
@@ -43,7 +43,7 @@ fn baselines(ds: &Arc<Dataset>, scale: Scale) -> Vec<(String, String)> {
         seed: 0,
     };
     let (ue, ie) = train_enmf(ds, &enmf_cfg);
-    let rep = evaluate_embeddings(ds, &ue, &ie, EvalScore::Dot, &[20]);
+    let rep = evaluate(ds, &ue, &ie, EvalScore::Dot, &[20]);
     rows.push(("ENMF".into(), metric_pair(rep.recall(20), rep.ndcg(20))));
     // SimpleX — MF + cosine contrastive loss.
     let simplex = run(
@@ -61,7 +61,7 @@ fn baselines(ds: &Arc<Dataset>, scale: Scale) -> Vec<(String, String)> {
         ..UltraGcnConfig::default()
     };
     let (uu, ui) = train_ultragcn(ds, &ug_cfg);
-    let rep = evaluate_embeddings(ds, &uu, &ui, EvalScore::Dot, &[20]);
+    let rep = evaluate(ds, &uu, &ui, EvalScore::Dot, &[20]);
     rows.push(("UltraGCN".into(), metric_pair(rep.recall(20), rep.ndcg(20))));
     // LR-GCCF (+BPR, its native loss).
     let lr_gccf = run(

@@ -44,7 +44,7 @@ pub mod prelude {
     pub use crate::trainer::{EpochStats, TrainOutcome, Trainer};
     pub use bsl_data::synth::{generate, SynthConfig};
     pub use bsl_data::Dataset;
-    pub use bsl_eval::{evaluate, EvalReport, ScoreKind};
+    pub use bsl_eval::{evaluate, evaluate_artifact, EvalReport};
     pub use bsl_losses::LossConfig;
-    pub use bsl_models::{Backbone, BackboneConfig};
+    pub use bsl_models::{Backbone, BackboneConfig, EvalScore, ModelArtifact};
 }

@@ -3,14 +3,14 @@
 use crate::config::{SamplingConfig, SyncMode, TrainConfig};
 use crate::engine::{Engine, HogwildView, Job, WorkerPool};
 use bsl_data::Dataset;
-use bsl_eval::{evaluate, EvalReport, ScoreKind};
+use bsl_eval::{evaluate_artifact, EvalReport};
 use bsl_linalg::kernels::{axpy, cosine_backward_into, dot, normalize_into, sq_dist};
 use bsl_linalg::simd::{cosine_backward_block, normalize_gather_into, scores_block};
 use bsl_linalg::Matrix;
 use bsl_losses::{build as build_loss, RankingLoss, ScoreBatch};
-use bsl_models::cml::euclidean_rank_embeddings;
 use bsl_models::{
-    build as build_backbone, Backbone, EvalScore, GradBuffer, Hyper, ShardGrad, TrainScore,
+    build as build_backbone, Backbone, EvalScore, GradBuffer, Hyper, ModelArtifact, ShardGrad,
+    TrainScore,
 };
 use bsl_opt::sgd_step_row;
 use bsl_sampling::{
@@ -37,12 +37,19 @@ pub struct EpochStats {
 
 /// Result of a training run.
 pub struct TrainOutcome {
-    /// Final user embeddings at the best evaluation.
+    /// Final user embeddings at the best evaluation (raw, un-prepared —
+    /// experiment harnesses inspect these; retrieval goes through
+    /// [`artifact`](TrainOutcome::artifact)).
     pub user_emb: Matrix,
     /// Final item embeddings at the best evaluation.
     pub item_emb: Matrix,
     /// The backbone's test-time score function.
     pub eval_score: EvalScore,
+    /// The frozen, servable export of the best epoch's embeddings:
+    /// normalization / distance augmentation already applied, so repeated
+    /// evaluations and serving never repay preparation. Save it with
+    /// [`ModelArtifact::save`], serve it with `bsl_serve::Recommender`.
+    pub artifact: ModelArtifact,
     /// The best evaluation report (by NDCG@20).
     pub best: EvalReport,
     /// Epoch (0-based) of the best evaluation.
@@ -54,31 +61,13 @@ pub struct TrainOutcome {
 }
 
 impl TrainOutcome {
-    /// Re-evaluates the stored (best) embeddings on `ds` at the cutoffs
-    /// `ks` — used by experiments that need metrics on a different split
-    /// or at different cutoffs than the training loop recorded.
+    /// Re-evaluates the stored best model on `ds` at the cutoffs `ks` —
+    /// used by experiments that need metrics on a different split or at
+    /// different cutoffs than the training loop recorded. Ranks through
+    /// the pre-prepared [`artifact`](TrainOutcome::artifact), so repeated
+    /// calls pay no per-call normalization.
     pub fn evaluate_on(&self, ds: &Dataset, ks: &[usize]) -> EvalReport {
-        evaluate_embeddings(ds, &self.user_emb, &self.item_emb, self.eval_score, ks)
-    }
-}
-
-/// Evaluates final embeddings under a backbone's [`EvalScore`] convention
-/// (distance scoring is reduced to dot-product scoring by the CML
-/// embedding augmentation).
-pub fn evaluate_embeddings(
-    ds: &Dataset,
-    user_emb: &Matrix,
-    item_emb: &Matrix,
-    score: EvalScore,
-    ks: &[usize],
-) -> EvalReport {
-    match score {
-        EvalScore::Dot => evaluate(ds, user_emb, item_emb, ScoreKind::Dot, ks),
-        EvalScore::Cosine => evaluate(ds, user_emb, item_emb, ScoreKind::Cosine, ks),
-        EvalScore::NegSqDist => {
-            let (au, ai) = euclidean_rank_embeddings(user_emb, item_emb);
-            evaluate(ds, &au, &ai, ScoreKind::Dot, ks)
-        }
+        evaluate_artifact(ds, &self.artifact, ks)
     }
 }
 
@@ -415,7 +404,7 @@ impl Trainer {
         let mut history = Vec::new();
         let mut eval_history = Vec::new();
         let mut best_ndcg = f64::NEG_INFINITY;
-        let mut best: Option<(EvalReport, Matrix, Matrix, usize)> = None;
+        let mut best: Option<(EvalReport, Matrix, Matrix, usize, ModelArtifact)> = None;
         let mut stale = 0usize;
 
         'training: for epoch in 0..cfg.epochs {
@@ -506,13 +495,10 @@ impl Trainer {
 
             if (epoch + 1) % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
                 backbone.forward(&mut rng);
-                let report = evaluate_embeddings(
-                    ds,
-                    backbone.user_factors(),
-                    backbone.item_factors(),
-                    backbone.eval_score(),
-                    &EVAL_KS,
-                );
+                // Freeze the epoch's embeddings and rank through the
+                // artifact — the same prepared tables serving would use.
+                let artifact = backbone.export();
+                let report = evaluate_artifact(ds, &artifact, &EVAL_KS);
                 let ndcg = report.ndcg(20);
                 eval_history.push((epoch, ndcg));
                 if ndcg > best_ndcg {
@@ -522,6 +508,7 @@ impl Trainer {
                         backbone.user_factors().clone(),
                         backbone.item_factors().clone(),
                         epoch,
+                        artifact,
                     ));
                     stale = 0;
                 } else {
@@ -533,12 +520,13 @@ impl Trainer {
             }
         }
 
-        let (best, user_emb, item_emb, best_epoch) =
+        let (best, user_emb, item_emb, best_epoch, artifact) =
             best.expect("at least one evaluation ran (final epoch always evaluates)");
         TrainOutcome {
             user_emb,
             item_emb,
             eval_score: backbone.eval_score(),
+            artifact,
             best,
             best_epoch,
             history,
@@ -1380,7 +1368,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(999);
         let u = Matrix::xavier_uniform(ds.n_users, 16, &mut rng);
         let i = Matrix::xavier_uniform(ds.n_items, 16, &mut rng);
-        evaluate(ds, &u, &i, ScoreKind::Cosine, &[20]).ndcg(20)
+        bsl_eval::evaluate(ds, &u, &i, EvalScore::Cosine, &[20]).ndcg(20)
     }
 
     #[test]

@@ -7,13 +7,32 @@
 //! contributes `discount(r)/IDCG_u` to group `g`. Summing a user's
 //! contributions over groups recovers the user's NDCG@K exactly, so the
 //! per-group curves of Fig 4a are an exact partition of overall NDCG.
+//!
+//! Like [`crate::ranking`], the full catalogue is scored through a frozen
+//! [`ModelArtifact`] — the group decomposition therefore partitions
+//! *exactly* the ranking [`crate::evaluate`] reports, with no second
+//! scoring implementation to drift.
 
 use crate::metrics::{dcg_discount, idcg};
-use crate::ranking::ScoreKind;
 use bsl_data::Dataset;
-use bsl_linalg::kernels::{dot, normalize_into};
-use bsl_linalg::topk::top_k_masked;
+use bsl_linalg::topk::TopK;
 use bsl_linalg::Matrix;
+use bsl_models::{EvalScore, ModelArtifact};
+
+fn check_inputs(
+    ds: &Dataset,
+    user_emb: &Matrix,
+    item_emb: &Matrix,
+    groups: &[u8],
+    n_groups: usize,
+    k: usize,
+) {
+    assert!(k > 0, "cutoff must be positive");
+    assert_eq!(groups.len(), ds.n_items, "one group label per item");
+    assert!(groups.iter().all(|&g| (g as usize) < n_groups), "group id out of range");
+    assert_eq!(user_emb.rows(), ds.n_users, "user embedding rows != n_users");
+    assert_eq!(item_emb.rows(), ds.n_items, "item embedding rows != n_items");
+}
 
 /// Mean per-group NDCG@K contributions across evaluable users.
 ///
@@ -27,48 +46,28 @@ pub fn group_ndcg(
     ds: &Dataset,
     user_emb: &Matrix,
     item_emb: &Matrix,
-    kind: ScoreKind,
+    score: EvalScore,
     groups: &[u8],
     n_groups: usize,
     k: usize,
 ) -> Vec<f64> {
-    assert!(k > 0, "cutoff must be positive");
-    assert_eq!(groups.len(), ds.n_items, "one group label per item");
-    assert!(groups.iter().all(|&g| (g as usize) < n_groups), "group id out of range");
-    assert_eq!(user_emb.rows(), ds.n_users, "user embedding rows != n_users");
-    assert_eq!(item_emb.rows(), ds.n_items, "item embedding rows != n_items");
-
-    // Normalize once for cosine.
-    let score_user = |uvec: &[f32], item: usize, items: &Matrix| dot(uvec, items.row(item));
-    let (users_m, items_m);
-    let (users_ref, items_ref): (&Matrix, &Matrix) = match kind {
-        ScoreKind::Dot => (user_emb, item_emb),
-        ScoreKind::Cosine => {
-            let norm = |m: &Matrix| {
-                let mut out = Matrix::zeros(m.rows(), m.cols());
-                for r in 0..m.rows() {
-                    let src = m.row(r).to_vec();
-                    normalize_into(&src, out.row_mut(r));
-                }
-                out
-            };
-            users_m = norm(user_emb);
-            items_m = norm(item_emb);
-            (&users_m, &items_m)
-        }
-    };
+    check_inputs(ds, user_emb, item_emb, groups, n_groups, k);
+    let artifact = ModelArtifact::from_embeddings("group-eval", user_emb, item_emb, score);
 
     let mut acc = vec![0.0f64; n_groups];
     let users = ds.evaluable_users();
-    let mut scores: Vec<f32> = Vec::with_capacity(ds.n_items);
+    let mut scores: Vec<f32> = Vec::new();
+    let mut topk = TopK::new();
+    let mut ranked: Vec<u32> = Vec::new();
     for &u in &users {
-        let uvec = users_ref.row(u as usize);
-        scores.clear();
-        for i in 0..ds.n_items {
-            scores.push(score_user(uvec, i, items_ref));
-        }
+        artifact.score_catalogue_into(u, &mut scores);
         let train = ds.train_items(u as usize);
-        let ranked = top_k_masked(&scores, k, |i| train.binary_search(&(i as u32)).is_ok());
+        topk.select_masked_into(
+            &scores,
+            k,
+            |i| train.binary_search(&(i as u32)).is_ok(),
+            &mut ranked,
+        );
         let relevant = ds.test_items(u as usize);
         let denom = idcg(relevant.len(), k);
         if denom <= 0.0 {
@@ -103,46 +102,28 @@ pub fn group_ndcg_restricted(
     ds: &Dataset,
     user_emb: &Matrix,
     item_emb: &Matrix,
-    kind: ScoreKind,
+    score: EvalScore,
     groups: &[u8],
     n_groups: usize,
     k: usize,
 ) -> Vec<f64> {
-    assert!(k > 0, "cutoff must be positive");
-    assert_eq!(groups.len(), ds.n_items, "one group label per item");
-    assert!(groups.iter().all(|&g| (g as usize) < n_groups), "group id out of range");
-    assert_eq!(user_emb.rows(), ds.n_users, "user embedding rows != n_users");
-    assert_eq!(item_emb.rows(), ds.n_items, "item embedding rows != n_items");
-
-    let (users_m, items_m);
-    let (users_ref, items_ref): (&Matrix, &Matrix) = match kind {
-        ScoreKind::Dot => (user_emb, item_emb),
-        ScoreKind::Cosine => {
-            let norm = |m: &Matrix| {
-                let mut out = Matrix::zeros(m.rows(), m.cols());
-                for r in 0..m.rows() {
-                    let src = m.row(r).to_vec();
-                    normalize_into(&src, out.row_mut(r));
-                }
-                out
-            };
-            users_m = norm(user_emb);
-            items_m = norm(item_emb);
-            (&users_m, &items_m)
-        }
-    };
+    check_inputs(ds, user_emb, item_emb, groups, n_groups, k);
+    let artifact = ModelArtifact::from_embeddings("group-eval", user_emb, item_emb, score);
 
     let mut acc = vec![0.0f64; n_groups];
     let mut counts = vec![0usize; n_groups];
-    let mut scores: Vec<f32> = Vec::with_capacity(ds.n_items);
+    let mut scores: Vec<f32> = Vec::new();
+    let mut topk = TopK::new();
+    let mut ranked: Vec<u32> = Vec::new();
     for &u in &ds.evaluable_users() {
-        let uvec = users_ref.row(u as usize);
-        scores.clear();
-        for i in 0..ds.n_items {
-            scores.push(dot(uvec, items_ref.row(i)));
-        }
+        artifact.score_catalogue_into(u, &mut scores);
         let train = ds.train_items(u as usize);
-        let ranked = top_k_masked(&scores, k, |i| train.binary_search(&(i as u32)).is_ok());
+        topk.select_masked_into(
+            &scores,
+            k,
+            |i| train.binary_search(&(i as u32)).is_ok(),
+            &mut ranked,
+        );
         let relevant = ds.test_items(u as usize);
         for g in 0..n_groups {
             let rel_g: Vec<u32> =
@@ -177,9 +158,9 @@ mod tests {
         let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
         let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
         let groups = ds.popularity_groups(10);
-        let per_group = group_ndcg(&ds, &users, &items, ScoreKind::Dot, &groups, 10, 20);
+        let per_group = group_ndcg(&ds, &users, &items, EvalScore::Dot, &groups, 10, 20);
         let total: f64 = per_group.iter().sum();
-        let overall = evaluate(&ds, &users, &items, ScoreKind::Dot, &[20]).ndcg(20);
+        let overall = evaluate(&ds, &users, &items, EvalScore::Dot, &[20]).ndcg(20);
         assert!((total - overall).abs() < 1e-9, "decomposed {total} vs overall {overall}");
     }
 
@@ -190,8 +171,8 @@ mod tests {
         let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
         let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
         let groups = vec![0u8; ds.n_items];
-        let per_group = group_ndcg(&ds, &users, &items, ScoreKind::Cosine, &groups, 1, 10);
-        let overall = evaluate(&ds, &users, &items, ScoreKind::Cosine, &[10]).ndcg(10);
+        let per_group = group_ndcg(&ds, &users, &items, EvalScore::Cosine, &groups, 1, 10);
+        let overall = evaluate(&ds, &users, &items, EvalScore::Cosine, &[10]).ndcg(10);
         assert_eq!(per_group.len(), 1);
         assert!((per_group[0] - overall).abs() < 1e-9);
     }
@@ -202,7 +183,7 @@ mod tests {
         let ds = Dataset::from_pairs("g", 1, 2, &[], &[(0, 1)]);
         let users = Matrix::from_vec(1, 1, vec![1.0]);
         let items = Matrix::from_vec(2, 1, vec![0.1, 5.0]);
-        let per_group = group_ndcg(&ds, &users, &items, ScoreKind::Dot, &[0, 1], 2, 1);
+        let per_group = group_ndcg(&ds, &users, &items, EvalScore::Dot, &[0, 1], 2, 1);
         assert_eq!(per_group[0], 0.0);
         assert!((per_group[1] - 1.0).abs() < 1e-12);
     }
@@ -213,6 +194,6 @@ mod tests {
         let ds = Dataset::from_pairs("g", 1, 2, &[], &[(0, 1)]);
         let users = Matrix::zeros(1, 1);
         let items = Matrix::zeros(2, 1);
-        let _ = group_ndcg(&ds, &users, &items, ScoreKind::Dot, &[0, 5], 2, 1);
+        let _ = group_ndcg(&ds, &users, &items, EvalScore::Dot, &[0, 5], 2, 1);
     }
 }

@@ -1,22 +1,16 @@
-//! Full-catalogue ranking evaluation from embedding matrices.
+//! Full-catalogue ranking evaluation through the frozen artifact path.
+//!
+//! Evaluation is "serving plus ground truth": every user's catalogue is
+//! scored by [`ModelArtifact::score_catalogue_into`] — the same blocked
+//! kernel `bsl-serve` answers requests with — and the resulting top-k is
+//! compared against the test split. Raw embedding matrices are accepted
+//! via [`evaluate`], which freezes them into an ad-hoc artifact first, so
+//! there is exactly one scoring implementation in the workspace.
 
 use crate::metrics::{user_metrics, MetricSet};
 use bsl_data::Dataset;
-use bsl_linalg::simd::{normalize_rows_into, scores_block};
-use bsl_linalg::topk::top_k_masked;
-use bsl_linalg::Matrix;
-
-/// How test-time scores are computed from final embeddings.
-///
-/// Per the paper's Table V: MF tests with cosine similarity, the GCN
-/// backbones with the inner product; training always uses cosine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ScoreKind {
-    /// Inner product `<u, i>`.
-    Dot,
-    /// Cosine similarity `<u, i>/(||u||·||i||)`.
-    Cosine,
-}
+use bsl_linalg::topk::TopK;
+use bsl_models::{EvalScore, ModelArtifact};
 
 /// Evaluation report: one [`MetricSet`] per requested cutoff.
 #[derive(Clone, Debug)]
@@ -65,71 +59,22 @@ impl std::fmt::Display for EvalReport {
     }
 }
 
-/// Scores every item for one user vector into `out` — one blocked
-/// tall-skinny matvec over the whole catalogue. Cosine and dot coincide
-/// here because [`evaluate`] pre-normalizes both sides for cosine.
-fn score_into(user: &[f32], items: &Matrix, out: &mut Vec<f32>) {
-    out.resize(items.rows(), 0.0);
-    scores_block(user, items.as_slice(), out);
-}
-
-/// L2-normalizes every row of `m` into a fresh matrix.
-fn normalize_rows(m: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(m.rows(), m.cols());
-    let mut norms = vec![0.0f32; m.rows()];
-    normalize_rows_into(m, &mut out, &mut norms);
-    out
-}
-
-/// Ranks the full catalogue for one user, excluding that user's training
-/// items, returning the top `k` item ids best-first.
+/// Evaluates a frozen [`ModelArtifact`] on `ds`'s test split at each cutoff
+/// in `ks`, averaging over users with at least one test interaction.
+/// Training items are masked out of the ranking (the standard CF
+/// protocol). The artifact's tables are served as-is — no per-call
+/// normalization or augmentation is repaid here.
 ///
-/// `user` must already be unit-norm when `kind` is [`ScoreKind::Cosine`]
-/// (as [`evaluate`] arranges); for one-off use pass raw vectors with
-/// [`ScoreKind::Dot`].
-pub fn rank_for_user(
-    user: &[f32],
-    items: &Matrix,
-    kind: ScoreKind,
-    train_items: &[u32],
-    k: usize,
-) -> Vec<u32> {
-    let _ = kind; // both kinds score as a dot once vectors are prepared
-    let mut scores = Vec::new();
-    score_into(user, items, &mut scores);
-    top_k_masked(&scores, k, |i| train_items.binary_search(&(i as u32)).is_ok())
-}
-
-/// Evaluates `user_emb` × `item_emb` on `ds`'s test split at each cutoff in
-/// `ks`, averaging over users with at least one test interaction. Training
-/// items are masked out of the ranking (the standard CF protocol).
-///
-/// Work is distributed over scoped threads (one chunk of users each).
+/// Work is distributed over scoped threads (one chunk of users each), with
+/// per-thread score and top-k scratch.
 ///
 /// # Panics
-/// Panics if `ks` is empty or embedding shapes disagree with the dataset.
-pub fn evaluate(
-    ds: &Dataset,
-    user_emb: &Matrix,
-    item_emb: &Matrix,
-    kind: ScoreKind,
-    ks: &[usize],
-) -> EvalReport {
+/// Panics if `ks` is empty or the artifact's shape disagrees with `ds`.
+pub fn evaluate_artifact(ds: &Dataset, artifact: &ModelArtifact, ks: &[usize]) -> EvalReport {
     assert!(!ks.is_empty(), "need at least one cutoff");
-    assert_eq!(user_emb.rows(), ds.n_users, "user embedding rows != n_users");
-    assert_eq!(item_emb.rows(), ds.n_items, "item embedding rows != n_items");
+    assert_eq!(artifact.n_users(), ds.n_users, "artifact user rows != n_users");
+    assert_eq!(artifact.n_items(), ds.n_items, "artifact item rows != n_items");
     let max_k = *ks.iter().max().expect("non-empty ks");
-
-    // Pre-normalize once for cosine scoring.
-    let (users_view, items_view);
-    let (users_ref, items_ref): (&Matrix, &Matrix) = match kind {
-        ScoreKind::Dot => (user_emb, item_emb),
-        ScoreKind::Cosine => {
-            users_view = normalize_rows(user_emb);
-            items_view = normalize_rows(item_emb);
-            (&users_view, &items_view)
-        }
-    };
 
     let users = ds.evaluable_users();
     let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
@@ -142,12 +87,17 @@ pub fn evaluate(
             handles.push(scope.spawn(move || {
                 let mut acc = vec![MetricSet::default(); ks.len()];
                 let mut scores: Vec<f32> = Vec::new();
+                let mut topk = TopK::new();
+                let mut ranked: Vec<u32> = Vec::new();
                 for &u in block {
-                    let uvec = users_ref.row(u as usize);
-                    score_into(uvec, items_ref, &mut scores);
+                    artifact.score_catalogue_into(u, &mut scores);
                     let train = ds.train_items(u as usize);
-                    let ranked =
-                        top_k_masked(&scores, max_k, |i| train.binary_search(&(i as u32)).is_ok());
+                    topk.select_masked_into(
+                        &scores,
+                        max_k,
+                        |i| train.binary_search(&(i as u32)).is_ok(),
+                        &mut ranked,
+                    );
                     let relevant = ds.test_items(u as usize);
                     for (slot, &k) in acc.iter_mut().zip(ks.iter()) {
                         slot.accumulate(&user_metrics(&ranked, relevant, k));
@@ -173,10 +123,32 @@ pub fn evaluate(
     EvalReport { ks: ks.to_vec(), at }
 }
 
+/// Evaluates raw embedding matrices under `score` by freezing them into an
+/// ad-hoc artifact (normalizing / augmenting once) and ranking through
+/// [`evaluate_artifact`]. Use this for embeddings that never pass through
+/// a [`Backbone`](bsl_models::Backbone), e.g. the ENMF/UltraGCN baselines;
+/// trained models should export an artifact instead and evaluate that.
+///
+/// # Panics
+/// Panics if `ks` is empty or embedding shapes disagree with the dataset.
+pub fn evaluate(
+    ds: &Dataset,
+    user_emb: &bsl_linalg::Matrix,
+    item_emb: &bsl_linalg::Matrix,
+    score: EvalScore,
+    ks: &[usize],
+) -> EvalReport {
+    assert_eq!(user_emb.rows(), ds.n_users, "user embedding rows != n_users");
+    assert_eq!(item_emb.rows(), ds.n_items, "item embedding rows != n_items");
+    let artifact = ModelArtifact::from_embeddings("adhoc", user_emb, item_emb, score);
+    evaluate_artifact(ds, &artifact, ks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bsl_data::synth::{generate, SynthConfig};
+    use bsl_linalg::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -190,7 +162,7 @@ mod tests {
         users.set(0, 2, 1.0);
         users.set(1, 3, 1.0);
         let items = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
-        let rep = evaluate(&ds, &users, &items, ScoreKind::Dot, &[1, 2]);
+        let rep = evaluate(&ds, &users, &items, EvalScore::Dot, &[1, 2]);
         assert!((rep.recall(1) - 1.0).abs() < 1e-12);
         assert!((rep.ndcg(1) - 1.0).abs() < 1e-12);
     }
@@ -202,7 +174,7 @@ mod tests {
         let users = Matrix::from_vec(1, 1, vec![1.0]);
         // Item scores: item0 = 10, item1 = 2, item2 = 1.
         let items = Matrix::from_vec(3, 1, vec![10.0, 2.0, 1.0]);
-        let rep = evaluate(&ds, &users, &items, ScoreKind::Dot, &[1]);
+        let rep = evaluate(&ds, &users, &items, EvalScore::Dot, &[1]);
         assert!((rep.recall(1) - 1.0).abs() < 1e-12, "train item must be excluded");
     }
 
@@ -212,9 +184,21 @@ mod tests {
         let users = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
         // Item 0 aligned but tiny; item 1 misaligned but huge.
         let items = Matrix::from_vec(2, 2, vec![0.01, 0.0, 5.0, 8.0]);
-        let rep = evaluate(&ds, &users, &items, ScoreKind::Cosine, &[1]);
+        let rep = evaluate(&ds, &users, &items, EvalScore::Cosine, &[1]);
         assert!((rep.recall(1) - 1.0).abs() < 1e-12);
-        let rep_dot = evaluate(&ds, &users, &items, ScoreKind::Dot, &[1]);
+        let rep_dot = evaluate(&ds, &users, &items, EvalScore::Dot, &[1]);
+        assert_eq!(rep_dot.recall(1), 0.0);
+    }
+
+    #[test]
+    fn negsqdist_ranks_by_proximity() {
+        // Item 1 is closest to the user; item 0 has the larger dot product.
+        let ds = Dataset::from_pairs("dist", 1, 2, &[], &[(0, 1)]);
+        let users = Matrix::from_vec(1, 1, vec![1.0]);
+        let items = Matrix::from_vec(2, 1, vec![5.0, 1.2]);
+        let rep = evaluate(&ds, &users, &items, EvalScore::NegSqDist, &[1]);
+        assert!((rep.recall(1) - 1.0).abs() < 1e-12);
+        let rep_dot = evaluate(&ds, &users, &items, EvalScore::Dot, &[1]);
         assert_eq!(rep_dot.recall(1), 0.0);
     }
 
@@ -224,7 +208,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
         let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
-        let rep = evaluate(&ds, &users, &items, ScoreKind::Dot, &[10]);
+        let rep = evaluate(&ds, &users, &items, EvalScore::Dot, &[10]);
         // Chance recall@10 ≈ 10/n_items ≈ 0.2 for the tiny config; random
         // embeddings must stay in the same ballpark, far below 1.
         assert!(rep.recall(10) < 0.5, "recall {}", rep.recall(10));
@@ -237,17 +221,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
         let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
-        let a = evaluate(&ds, &users, &items, ScoreKind::Cosine, &[5, 20]);
-        let b = evaluate(&ds, &users, &items, ScoreKind::Cosine, &[5, 20]);
+        let a = evaluate(&ds, &users, &items, EvalScore::Cosine, &[5, 20]);
+        let b = evaluate(&ds, &users, &items, EvalScore::Cosine, &[5, 20]);
         assert_eq!(a.at_k(20), b.at_k(20));
         assert_eq!(a.at_k(5), b.at_k(5));
     }
 
     #[test]
-    fn rank_for_user_masks_and_orders() {
-        let items = Matrix::from_vec(4, 1, vec![4.0, 3.0, 2.0, 1.0]);
-        let ranked = rank_for_user(&[1.0], &items, ScoreKind::Dot, &[0], 3);
-        assert_eq!(ranked, vec![1, 2, 3]);
+    fn artifact_eval_equals_raw_embedding_eval() {
+        let ds = generate(&SynthConfig::tiny(7));
+        let mut rng = StdRng::seed_from_u64(4);
+        let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
+        let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
+        for score in [EvalScore::Dot, EvalScore::Cosine, EvalScore::NegSqDist] {
+            let art = ModelArtifact::from_embeddings("MF", &users, &items, score);
+            let via_art = evaluate_artifact(&ds, &art, &[10, 20]);
+            let via_raw = evaluate(&ds, &users, &items, score, &[10, 20]);
+            assert_eq!(via_art.at_k(20), via_raw.at_k(20), "{score:?}");
+            assert_eq!(via_art.at_k(10), via_raw.at_k(10), "{score:?}");
+        }
     }
 
     #[test]

@@ -36,39 +36,81 @@ impl Ord for OrdF32 {
     }
 }
 
+/// A reusable top-k selector: the bounded min-heap and the sort scratch
+/// survive across calls, so steady-state selection (one call per served
+/// request or evaluated user) allocates nothing once warm.
+///
+/// [`top_k_masked`] is the one-shot convenience wrapper; `bsl-serve`'s
+/// `Recommender` and `bsl-eval`'s ranking loop hold a `TopK` per
+/// thread/instance.
+#[derive(Default)]
+pub struct TopK {
+    // Min-heap of the current best k: BinaryHeap is a max-heap, so store
+    // (Reverse(score), idx) — the top is then the smallest score and,
+    // among tied smallest scores, the LARGEST index. That is exactly the
+    // element "ties break toward the smaller index" wants evicted first
+    // when a better score arrives.
+    heap: BinaryHeap<(std::cmp::Reverse<OrdF32>, usize)>,
+    sorted: Vec<(OrdF32, usize)>,
+}
+
+impl TopK {
+    /// A fresh selector (equivalent to `TopK::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the indices of the `k` largest entries of `scores` into
+    /// `out` (cleared first), ordered best to worst; ties break toward the
+    /// smaller index. Entries whose index is flagged by `mask` (`true` =
+    /// exclude) are skipped.
+    pub fn select_masked_into(
+        &mut self,
+        scores: &[f32],
+        k: usize,
+        mask: impl Fn(usize) -> bool,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        self.heap.clear();
+        for (i, &s) in scores.iter().enumerate() {
+            if mask(i) {
+                continue;
+            }
+            if self.heap.len() < k {
+                self.heap.push((std::cmp::Reverse(OrdF32(s)), i));
+            } else if let Some(&(std::cmp::Reverse(worst), wi)) = self.heap.peek() {
+                // Strictly better score, or equal score with smaller index
+                // (the latter cannot fire on this forward scan — i only
+                // grows — but keeps the invariant explicit).
+                let cand = OrdF32(s);
+                if cand > worst || (cand == worst && i < wi) {
+                    self.heap.pop();
+                    self.heap.push((std::cmp::Reverse(cand), i));
+                }
+            }
+        }
+        self.sorted.clear();
+        self.sorted.extend(self.heap.drain().map(|(std::cmp::Reverse(s), i)| (s, i)));
+        // Best first; ties by ascending index.
+        self.sorted.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.extend(self.sorted.iter().map(|&(_, i)| i as u32));
+    }
+}
+
 /// Returns the indices of the `k` largest entries of `scores`, ordered from
 /// best to worst. Ties break toward the smaller index (deterministic).
 ///
 /// Entries whose index is flagged in `mask` (same length, `true` = exclude)
 /// are skipped — evaluation uses this to mask out training items.
 pub fn top_k_masked(scores: &[f32], k: usize, mask: impl Fn(usize) -> bool) -> Vec<u32> {
-    if k == 0 {
-        return Vec::new();
-    }
-    // Min-heap of the current best k: Reverse ordering via negation trick —
-    // BinaryHeap is a max-heap, so store (Reverse(score), Reverse(idx)).
-    let mut heap: BinaryHeap<(std::cmp::Reverse<OrdF32>, std::cmp::Reverse<usize>)> =
-        BinaryHeap::with_capacity(k + 1);
-    for (i, &s) in scores.iter().enumerate() {
-        if mask(i) {
-            continue;
-        }
-        if heap.len() < k {
-            heap.push((std::cmp::Reverse(OrdF32(s)), std::cmp::Reverse(i)));
-        } else if let Some(&(std::cmp::Reverse(worst), std::cmp::Reverse(wi))) = heap.peek() {
-            // Strictly better score, or equal score with smaller index.
-            let cand = OrdF32(s);
-            if cand > worst || (cand == worst && i < wi) {
-                heap.pop();
-                heap.push((std::cmp::Reverse(cand), std::cmp::Reverse(i)));
-            }
-        }
-    }
-    let mut out: Vec<(OrdF32, usize)> =
-        heap.into_iter().map(|(std::cmp::Reverse(s), std::cmp::Reverse(i))| (s, i)).collect();
-    // Best first; ties by ascending index.
-    out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    out.into_iter().map(|(_, i)| i as u32).collect()
+    let mut sel = TopK::new();
+    let mut out = Vec::new();
+    sel.select_masked_into(scores, k, mask, &mut out);
+    out
 }
 
 /// Top-k without any mask.
@@ -132,7 +174,56 @@ mod tests {
         assert_eq!(argsort_desc(&s), vec![2, 0, 3, 1]);
     }
 
+    /// The obviously-correct reference: sort every unmasked index by
+    /// (score descending, index ascending) and truncate to `k`.
+    fn naive_topk_masked(scores: &[f32], k: usize, mask: impl Fn(usize) -> bool) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..scores.len() as u32).filter(|&i| !mask(i as usize)).collect();
+        idx.sort_by(|&a, &b| {
+            OrdF32(scores[b as usize]).cmp(&OrdF32(scores[a as usize])).then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    #[test]
+    fn selector_reuse_matches_fresh_selector() {
+        let mut sel = TopK::new();
+        let mut out = Vec::new();
+        for round in 0..4usize {
+            let s: Vec<f32> = (0..50).map(|i| ((i * 7 + round * 13) % 11) as f32).collect();
+            sel.select_masked_into(&s, 8, |i| i % 5 == round % 5, &mut out);
+            assert_eq!(out, naive_topk_masked(&s, 8, |i| i % 5 == round % 5), "round {round}");
+        }
+    }
+
     proptest! {
+        /// Quantized scores force heavy ties; `k` ranges past `n` to cover
+        /// the k ≥ n edge. The heap selection must match the naive
+        /// sort-and-truncate reference exactly, masked or not.
+        #[test]
+        fn prop_topk_matches_naive_reference(
+            q in proptest::collection::vec(0u8..6, 1..80),
+            k in 0usize..100,
+            mask_mod in 1usize..7,
+        ) {
+            let s: Vec<f32> = q.iter().map(|&v| v as f32 * 0.5 - 1.0).collect();
+            prop_assert_eq!(top_k(&s, k), naive_topk_masked(&s, k, |_| false));
+            let got = top_k_masked(&s, k, |i| i % mask_mod == 0);
+            prop_assert_eq!(got, naive_topk_masked(&s, k, |i| i % mask_mod == 0));
+        }
+
+        /// Continuous scores through the reusable selector: same contract.
+        #[test]
+        fn prop_selector_matches_naive_reference(
+            s in proptest::collection::vec(-100.0f32..100.0, 1..64),
+            k in 0usize..80,
+        ) {
+            let mut sel = TopK::new();
+            let mut out = Vec::new();
+            sel.select_masked_into(&s, k, |_| false, &mut out);
+            prop_assert_eq!(out, naive_topk_masked(&s, k, |_| false));
+        }
+
         #[test]
         fn prop_topk_agrees_with_argsort(
             s in proptest::collection::vec(-100.0f32..100.0, 1..64),

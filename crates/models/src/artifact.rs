@@ -1,0 +1,523 @@
+//! The frozen train→serve boundary: [`ModelArtifact`].
+//!
+//! Training produces parameters; retrieval needs *prepared score tables*.
+//! An artifact freezes a backbone's final embeddings into the form the
+//! serving dot product wants — rows pre-normalized for cosine backbones,
+//! the CML distance augmentation pre-baked — so that evaluation and
+//! serving never repay per-query preparation and **always score with one
+//! blocked kernel** ([`scores_block`]). `bsl-eval` ranks through the same
+//! tables, which is what makes "metrics offline" and "scores online"
+//! bit-identical.
+//!
+//! Artifacts round-trip through a compact self-describing binary format
+//! (manual little-endian codec, no external dependencies):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"BSLA"
+//!      4     4  format version (u32, currently 1)
+//!      8     8  FNV-1a 64 checksum of every byte from offset 16 on
+//!     16     1  similarity code (0 = dot, 1 = cosine, 2 = -||u-i||²)
+//!     17     1  backbone label length L
+//!     18     2  reserved (zero)
+//!     20     8  n_users (u64)
+//!     28     8  n_items (u64)
+//!     36     8  dim (u64) — the *prepared* width (CML stores d+1)
+//!     44     L  backbone label (UTF-8)
+//!   44+L     …  user table  (n_users·dim little-endian f32)
+//!      …     …  item table  (n_items·dim little-endian f32)
+//! ```
+//!
+//! `f32 → to_le_bytes → from_le_bytes` is lossless, so a loaded artifact
+//! reproduces the saved one bit for bit; the checksum covers the header
+//! fields and both tables, so truncation and corruption are rejected
+//! before any score is served.
+
+use crate::backbone::EvalScore;
+use crate::cml::euclidean_rank_embeddings;
+use bsl_linalg::kernels::dot;
+use bsl_linalg::simd::{normalize_rows_into, scores_block};
+use bsl_linalg::Matrix;
+use std::io::Write;
+use std::path::Path;
+
+/// Artifact format magic bytes.
+const MAGIC: [u8; 4] = *b"BSLA";
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed header length (everything before the variable-length label).
+const HEADER_LEN: usize = 44;
+/// Offset of the first checksummed byte (just past the checksum field).
+const CHECKSUM_START: usize = 16;
+
+/// Errors from decoding or file I/O on an artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with the `BSLA` magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The byte stream is shorter than its header promises.
+    Truncated {
+        /// Bytes the header declares.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The stored checksum does not match the content.
+    ChecksumMismatch,
+    /// A header field is internally inconsistent.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::BadMagic => write!(f, "not a BSL artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported artifact format version {v} (this build reads ≤ {FORMAT_VERSION})"
+                )
+            }
+            ArtifactError::Truncated { expected, got } => {
+                write!(f, "truncated artifact: header promises {expected} bytes, file has {got}")
+            }
+            ArtifactError::ChecksumMismatch => {
+                write!(f, "artifact checksum mismatch (corrupted file)")
+            }
+            ArtifactError::Malformed(what) => write!(f, "malformed artifact: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`, continuing from `state` (seed with
+/// [`fnv1a64_init`]).
+fn fnv1a64(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x100_0000_01b3);
+    }
+    state
+}
+
+/// FNV-1a 64 offset basis.
+fn fnv1a64_init() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+fn similarity_code(s: EvalScore) -> u8 {
+    match s {
+        EvalScore::Dot => 0,
+        EvalScore::Cosine => 1,
+        EvalScore::NegSqDist => 2,
+    }
+}
+
+fn similarity_from_code(c: u8) -> Option<EvalScore> {
+    match c {
+        0 => Some(EvalScore::Dot),
+        1 => Some(EvalScore::Cosine),
+        2 => Some(EvalScore::NegSqDist),
+        _ => None,
+    }
+}
+
+/// A frozen, self-describing snapshot of a trained model, ready to serve.
+///
+/// The stored tables are *prepared*: cosine backbones are row-normalized
+/// and CML's distance ranking is converted to an equivalent inner product
+/// by the `(2u, -1) · (i, ||i||²)` augmentation, so every retrieval —
+/// `bsl-eval`'s full ranking, `bsl-serve`'s `recommend`, a future ANN
+/// index — is a plain blocked dot product over these rows. The original
+/// similarity convention is kept as metadata in [`similarity`].
+///
+/// [`similarity`]: ModelArtifact::similarity
+#[derive(Clone, Debug)]
+pub struct ModelArtifact {
+    backbone: String,
+    similarity: EvalScore,
+    users: Matrix,
+    items: Matrix,
+}
+
+impl ModelArtifact {
+    /// Freezes raw final embeddings under `score` into a servable
+    /// artifact, applying the score-specific preparation (normalization /
+    /// distance augmentation) exactly once.
+    ///
+    /// The artifact *owns* its tables (that is what makes it saveable and
+    /// independent of the model's lifetime), so freezing copies them —
+    /// for [`EvalScore::Dot`] a plain clone. At catalogue scale that copy
+    /// is small next to one full ranking pass; callers that only ever
+    /// score raw tables in place can keep using the matrices directly.
+    ///
+    /// # Panics
+    /// Panics if the embedding widths disagree.
+    pub fn from_embeddings(
+        backbone: impl Into<String>,
+        user_emb: &Matrix,
+        item_emb: &Matrix,
+        score: EvalScore,
+    ) -> Self {
+        assert_eq!(user_emb.cols(), item_emb.cols(), "embedding width mismatch");
+        let (users, items) = match score {
+            EvalScore::Dot => (user_emb.clone(), item_emb.clone()),
+            EvalScore::Cosine => {
+                let mut norms = vec![0.0f32; user_emb.rows().max(item_emb.rows())];
+                let mut u = Matrix::zeros(user_emb.rows(), user_emb.cols());
+                normalize_rows_into(user_emb, &mut u, &mut norms[..user_emb.rows()]);
+                let mut i = Matrix::zeros(item_emb.rows(), item_emb.cols());
+                normalize_rows_into(item_emb, &mut i, &mut norms[..item_emb.rows()]);
+                (u, i)
+            }
+            EvalScore::NegSqDist => euclidean_rank_embeddings(user_emb, item_emb),
+        };
+        Self { backbone: backbone.into(), similarity: score, users, items }
+    }
+
+    /// Rebuilds an artifact from already-prepared tables (the decoder's
+    /// entry point; also useful for tests that craft tables by hand).
+    ///
+    /// # Panics
+    /// Panics if the table widths disagree.
+    pub fn from_prepared(
+        backbone: impl Into<String>,
+        similarity: EvalScore,
+        users: Matrix,
+        items: Matrix,
+    ) -> Self {
+        assert_eq!(users.cols(), items.cols(), "prepared table width mismatch");
+        Self { backbone: backbone.into(), similarity, users, items }
+    }
+
+    /// The backbone label this artifact was exported from (`"MF"`, …).
+    pub fn backbone(&self) -> &str {
+        &self.backbone
+    }
+
+    /// The similarity convention the tables were prepared under.
+    pub fn similarity(&self) -> EvalScore {
+        self.similarity
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.users.rows()
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.items.rows()
+    }
+
+    /// Width of the prepared tables (CML artifacts store `d + 1`).
+    pub fn dim(&self) -> usize {
+        self.users.cols()
+    }
+
+    /// The prepared user table.
+    pub fn users(&self) -> &Matrix {
+        &self.users
+    }
+
+    /// The prepared item table.
+    pub fn items(&self) -> &Matrix {
+        &self.items
+    }
+
+    /// Scores the full item catalogue for `user` into `out` (resized to
+    /// `n_items`) with one blocked tall-skinny matvec — the single scoring
+    /// implementation shared by training-loop eval, offline eval, and
+    /// serving.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn score_catalogue_into(&self, user: u32, out: &mut Vec<f32>) {
+        out.resize(self.items.rows(), 0.0);
+        scores_block(self.users.row(user as usize), self.items.as_slice(), out);
+    }
+
+    /// Scores an explicit candidate list for `user` into `out` (resized to
+    /// `items.len()`).
+    ///
+    /// For [`EvalScore::NegSqDist`] artifacts the values are the
+    /// rank-equivalent augmented inner products, not raw distances —
+    /// consistent with [`score_catalogue_into`](Self::score_catalogue_into).
+    ///
+    /// # Panics
+    /// Panics if `user` or any item id is out of range.
+    pub fn score_items_into(&self, user: u32, items: &[u32], out: &mut Vec<f32>) {
+        let q = self.users.row(user as usize);
+        out.clear();
+        out.extend(items.iter().map(|&i| dot(q, self.items.row(i as usize))));
+    }
+
+    /// Encodes the artifact into the documented binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let label = self.backbone.as_bytes();
+        assert!(label.len() <= u8::MAX as usize, "backbone label too long for the format");
+        let n_floats = self.users.as_slice().len() + self.items.as_slice().len();
+        let mut buf = Vec::with_capacity(HEADER_LEN + label.len() + n_floats * 4);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum placeholder
+        buf.push(similarity_code(self.similarity));
+        buf.push(label.len() as u8);
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&(self.n_users() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.n_items() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.dim() as u64).to_le_bytes());
+        buf.extend_from_slice(label);
+        for &v in self.users.as_slice() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in self.items.as_slice() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let sum = fnv1a64(fnv1a64_init(), &buf[CHECKSUM_START..]);
+        buf[8..16].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decodes an artifact from [`to_bytes`](Self::to_bytes) output,
+    /// verifying magic, version, declared sizes, and the checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ArtifactError::Truncated { expected: HEADER_LEN, got: bytes.len() });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let take_u64 =
+            |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let stored_sum = take_u64(8);
+        let similarity = similarity_from_code(bytes[16])
+            .ok_or(ArtifactError::Malformed("unknown similarity code"))?;
+        let label_len = bytes[17] as usize;
+        if bytes[18..20] != [0, 0] {
+            return Err(ArtifactError::Malformed("nonzero reserved bytes"));
+        }
+        let n_users = usize::try_from(take_u64(20))
+            .map_err(|_| ArtifactError::Malformed("n_users overflows usize"))?;
+        let n_items = usize::try_from(take_u64(28))
+            .map_err(|_| ArtifactError::Malformed("n_items overflows usize"))?;
+        let dim = usize::try_from(take_u64(36))
+            .map_err(|_| ArtifactError::Malformed("dim overflows usize"))?;
+        if dim == 0 {
+            return Err(ArtifactError::Malformed("zero-width tables"));
+        }
+        let table_floats = n_users
+            .checked_mul(dim)
+            .and_then(|u| n_items.checked_mul(dim).map(|i| (u, i)))
+            .ok_or(ArtifactError::Malformed("table size overflows usize"))?;
+        let total = HEADER_LEN
+            .checked_add(label_len)
+            .and_then(|h| {
+                table_floats.0.checked_add(table_floats.1)?.checked_mul(4)?.checked_add(h)
+            })
+            .ok_or(ArtifactError::Malformed("total size overflows usize"))?;
+        if bytes.len() < total {
+            return Err(ArtifactError::Truncated { expected: total, got: bytes.len() });
+        }
+        if bytes.len() > total {
+            return Err(ArtifactError::Malformed("trailing bytes after item table"));
+        }
+        if fnv1a64(fnv1a64_init(), &bytes[CHECKSUM_START..]) != stored_sum {
+            return Err(ArtifactError::ChecksumMismatch);
+        }
+        let backbone = std::str::from_utf8(&bytes[HEADER_LEN..HEADER_LEN + label_len])
+            .map_err(|_| ArtifactError::Malformed("backbone label is not UTF-8"))?
+            .to_string();
+        let mut at = HEADER_LEN + label_len;
+        let mut read_table = |rows: usize| {
+            let floats = rows * dim;
+            let mut data = Vec::with_capacity(floats);
+            for chunk in bytes[at..at + floats * 4].chunks_exact(4) {
+                data.push(f32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+            }
+            at += floats * 4;
+            Matrix::from_vec(rows, dim, data)
+        };
+        let users = read_table(n_users);
+        let items = read_table(n_items);
+        Ok(Self { backbone, similarity, users, items })
+    }
+
+    /// Writes the artifact to `path` (atomic enough for our purposes: a
+    /// single buffered write of the encoded stream).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let bytes = self.to_bytes();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(&bytes)?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Reads an artifact from `path`, verifying the header and checksum.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(score: EvalScore) -> ModelArtifact {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = Matrix::gaussian(5, 7, 1.0, &mut rng);
+        let i = Matrix::gaussian(11, 7, 1.0, &mut rng);
+        ModelArtifact::from_embeddings("MF", &u, &i, score)
+    }
+
+    #[test]
+    fn bytes_round_trip_is_bit_identical() {
+        for score in [EvalScore::Dot, EvalScore::Cosine, EvalScore::NegSqDist] {
+            let art = toy(score);
+            let back = ModelArtifact::from_bytes(&art.to_bytes()).expect("decode");
+            assert_eq!(back.backbone(), art.backbone());
+            assert_eq!(back.similarity(), art.similarity());
+            assert_eq!(back.users().as_slice(), art.users().as_slice());
+            assert_eq!(back.items().as_slice(), art.items().as_slice());
+        }
+    }
+
+    #[test]
+    fn cosine_tables_are_prenormalized() {
+        let art = toy(EvalScore::Cosine);
+        for r in 0..art.n_items() {
+            let n = dot(art.items().row(r), art.items().row(r)).sqrt();
+            assert!((n - 1.0).abs() < 1e-5, "row {r} norm {n}");
+        }
+    }
+
+    #[test]
+    fn negsqdist_bakes_the_augmentation() {
+        let art = toy(EvalScore::NegSqDist);
+        assert_eq!(art.dim(), 8, "CML artifacts store d + 1");
+        // Augmented dot ranks like negative distance: last user column is -1.
+        assert!(art.users().row(0)[7] == -1.0);
+    }
+
+    #[test]
+    fn score_catalogue_matches_score_items() {
+        let art = toy(EvalScore::Cosine);
+        let mut all = Vec::new();
+        art.score_catalogue_into(3, &mut all);
+        assert_eq!(all.len(), art.n_items());
+        let ids: Vec<u32> = (0..art.n_items() as u32).collect();
+        let mut listed = Vec::new();
+        art.score_items_into(3, &ids, &mut listed);
+        for (a, b) in all.iter().zip(listed.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = toy(EvalScore::Dot).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(ModelArtifact::from_bytes(&bytes), Err(ArtifactError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = toy(EvalScore::Dot).to_bytes();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_flipped_payload_byte() {
+        let mut bytes = toy(EvalScore::Dot).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(ModelArtifact::from_bytes(&bytes), Err(ArtifactError::ChecksumMismatch)));
+    }
+
+    #[test]
+    fn rejects_corrupted_header_field() {
+        let mut bytes = toy(EvalScore::Dot).to_bytes();
+        // Inflate n_users: either the length check or the checksum must trip.
+        bytes[20] ^= 0x01;
+        assert!(ModelArtifact::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = toy(EvalScore::Dot).to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() / 2, HEADER_LEN - 1, 3] {
+            assert!(
+                matches!(
+                    ModelArtifact::from_bytes(&bytes[..cut]),
+                    Err(ArtifactError::Truncated { .. })
+                ),
+                "cut at {cut} must be rejected as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = toy(EvalScore::Dot).to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::Malformed("trailing bytes after item table"))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_similarity() {
+        let mut bytes = toy(EvalScore::Dot).to_bytes();
+        bytes[16] = 7;
+        // Re-stamp the checksum so the similarity check itself is reached.
+        let sum = fnv1a64(fnv1a64_init(), &bytes[CHECKSUM_START..]);
+        bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::from_bytes(&bytes),
+            Err(ArtifactError::Malformed("unknown similarity code"))
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let art = toy(EvalScore::Cosine);
+        let dir = std::env::temp_dir().join("bsl-artifact-unit");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("toy.bsla");
+        art.save(&path).expect("save");
+        let back = ModelArtifact::load(&path).expect("load");
+        assert_eq!(back.users().as_slice(), art.users().as_slice());
+        assert_eq!(back.items().as_slice(), art.items().as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`Backbone`] trait and the serializable model selector.
 
+use crate::artifact::ModelArtifact;
 use crate::grad::GradBuffer;
 use bsl_data::Dataset;
 use bsl_linalg::Matrix;
@@ -93,6 +94,23 @@ pub trait Backbone: Send {
 
     /// The test-time score function.
     fn eval_score(&self) -> EvalScore;
+
+    /// Freezes the current final embeddings into a servable
+    /// [`ModelArtifact`] — the train→deploy boundary. The tables are
+    /// prepared under [`Backbone::eval_score`] (cosine backbones
+    /// pre-normalized, CML's distance ranking converted to an inner
+    /// product), so the artifact serves with plain blocked dot products.
+    ///
+    /// Call [`Backbone::forward`] first; the export snapshots whatever the
+    /// final embeddings currently hold.
+    fn export(&self) -> ModelArtifact {
+        ModelArtifact::from_embeddings(
+            self.name(),
+            self.user_factors(),
+            self.item_factors(),
+            self.eval_score(),
+        )
+    }
 }
 
 /// Serializable backbone selector used by experiment configs.
@@ -226,6 +244,32 @@ mod tests {
                 "{} produced non-finite embeddings",
                 bb.name()
             );
+        }
+    }
+
+    #[test]
+    fn export_prepares_tables_per_eval_score() {
+        let ds = Arc::new(generate(&SynthConfig::tiny(2)));
+        let mut rng = StdRng::seed_from_u64(3);
+        for cfg in [BackboneConfig::Mf, BackboneConfig::Cml, BackboneConfig::LightGcn { layers: 2 }]
+        {
+            let mut bb = build(cfg, &ds, 8, 11);
+            bb.forward(&mut rng);
+            let art = bb.export();
+            assert_eq!(art.backbone(), bb.name());
+            assert_eq!(art.similarity(), bb.eval_score());
+            assert_eq!(art.n_users(), ds.n_users);
+            assert_eq!(art.n_items(), ds.n_items);
+            match bb.eval_score() {
+                // CML bakes the distance augmentation: one extra column.
+                EvalScore::NegSqDist => assert_eq!(art.dim(), bb.out_dim() + 1),
+                _ => assert_eq!(art.dim(), bb.out_dim()),
+            }
+            if bb.eval_score() == EvalScore::Cosine {
+                let r = art.items().row(0);
+                let n: f32 = r.iter().map(|x| x * x).sum::<f32>().sqrt();
+                assert!((n - 1.0).abs() < 1e-5, "{}: unnormalized export", bb.name());
+            }
         }
     }
 

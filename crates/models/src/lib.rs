@@ -25,6 +25,7 @@
 
 #![deny(missing_docs)]
 
+pub mod artifact;
 pub mod backbone;
 pub mod cml;
 pub mod enmf;
@@ -40,6 +41,7 @@ pub mod shard;
 pub mod simgcl;
 pub mod ultragcn;
 
+pub use artifact::{ArtifactError, ModelArtifact};
 pub use backbone::{build, Backbone, BackboneConfig, EvalScore, Hyper, TrainScore};
 pub use grad::GradBuffer;
 pub use lightgcl::LightGcl;

@@ -1,0 +1,32 @@
+//! Retrieval serving over frozen [`ModelArtifact`]s.
+//!
+//! Training (`bsl-core`) ends at `Backbone::export() → ModelArtifact`;
+//! this crate is everything after that boundary: load an artifact, wrap
+//! it in a [`Recommender`], and answer `recommend(user, k)` /
+//! `recommend_batch` / `score_items` queries. Scoring is the same blocked
+//! kernel `bsl-eval` ranks with ([`ModelArtifact::score_catalogue_into`]),
+//! so offline metrics and online scores come from one implementation.
+//!
+//! ```no_run
+//! use bsl_models::ModelArtifact;
+//! use bsl_serve::Recommender;
+//!
+//! let artifact = ModelArtifact::load("model.bsla").expect("artifact");
+//! let mut rec = Recommender::new(artifact);
+//! for r in rec.recommend(42, 10) {
+//!     println!("item {}  score {:.4}", r.item, r.score);
+//! }
+//! ```
+//!
+//! Steady-state serving is allocation-free: the catalogue score buffer,
+//! the bounded top-k heap, and the id scratch all live in the
+//! `Recommender` and are reused across calls (the convenience methods
+//! that *return* `Vec`s allocate only their results; the `_into` variants
+//! don't allocate at all once warm).
+
+#![deny(missing_docs)]
+
+pub mod recommender;
+
+pub use bsl_models::{ArtifactError, EvalScore, ModelArtifact};
+pub use recommender::{Rec, Recommender};

@@ -1,0 +1,226 @@
+//! The [`Recommender`]: batched top-k retrieval with seen-item filtering.
+
+use bsl_data::Dataset;
+use bsl_linalg::topk::TopK;
+use bsl_models::ModelArtifact;
+
+/// One recommendation: an item id and its retrieval score.
+///
+/// Scores come from the artifact's prepared tables (cosine similarity for
+/// cosine backbones, inner product otherwise; CML artifacts serve the
+/// rank-equivalent augmented inner product).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rec {
+    /// The recommended item id.
+    pub item: u32,
+    /// The retrieval score (higher = better).
+    pub score: f32,
+}
+
+/// Serves top-k retrieval queries over a frozen [`ModelArtifact`].
+///
+/// Construction is the only place that allocates proportionally to the
+/// catalogue: an optional CSR copy of the training interactions (the
+/// "seen" mask) and the reusable per-call scratch. After the first query
+/// every call reuses the same buffers — the hot path is one blocked
+/// matvec over the item table plus a bounded-heap selection.
+pub struct Recommender {
+    artifact: ModelArtifact,
+    /// CSR mask of already-seen items: `seen_items[seen_indptr[u] ..
+    /// seen_indptr[u + 1]]` are the (sorted) item ids to exclude for `u`.
+    /// All-zero indptr = no filtering. `usize` offsets, matching
+    /// `bsl_sparse::Csr` — catalogue-scale nnz must not wrap.
+    seen_indptr: Vec<usize>,
+    seen_items: Vec<u32>,
+    // Per-call scratch, reused across queries.
+    scores: Vec<f32>,
+    topk: TopK,
+    ids: Vec<u32>,
+}
+
+impl Recommender {
+    /// A recommender with **no** seen-item filtering (every catalogue item
+    /// is eligible).
+    pub fn new(artifact: ModelArtifact) -> Self {
+        let n = artifact.n_users();
+        Self {
+            artifact,
+            seen_indptr: vec![0; n + 1],
+            seen_items: Vec::new(),
+            scores: Vec::new(),
+            topk: TopK::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// A recommender that filters each user's *training* interactions out
+    /// of their recommendations — the standard deployment protocol (and
+    /// exactly the mask `bsl-eval` applies). The mask is copied out of
+    /// `ds`, so the dataset need not outlive the recommender.
+    ///
+    /// # Panics
+    /// Panics if `ds`'s shape disagrees with the artifact.
+    pub fn with_seen(artifact: ModelArtifact, ds: &Dataset) -> Self {
+        assert_eq!(artifact.n_users(), ds.n_users, "artifact user rows != dataset users");
+        assert_eq!(artifact.n_items(), ds.n_items, "artifact item rows != dataset items");
+        let mut indptr = Vec::with_capacity(ds.n_users + 1);
+        let mut items = Vec::with_capacity(ds.train.nnz());
+        indptr.push(0usize);
+        for u in 0..ds.n_users {
+            items.extend_from_slice(ds.train_items(u));
+            indptr.push(items.len());
+        }
+        let mut rec = Self::new(artifact);
+        rec.seen_indptr = indptr;
+        rec.seen_items = items;
+        rec
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// The (sorted) item ids filtered out for `user`.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn seen(&self, user: u32) -> &[u32] {
+        let u = user as usize;
+        &self.seen_items[self.seen_indptr[u]..self.seen_indptr[u + 1]]
+    }
+
+    /// Top-`k` unseen items for `user`, best first, written into `out`
+    /// (cleared first). Allocation-free once the scratch is warm.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn recommend_into(&mut self, user: u32, k: usize, out: &mut Vec<Rec>) {
+        let u = user as usize;
+        self.artifact.score_catalogue_into(user, &mut self.scores);
+        let seen = &self.seen_items[self.seen_indptr[u]..self.seen_indptr[u + 1]];
+        self.topk.select_masked_into(
+            &self.scores,
+            k,
+            |i| seen.binary_search(&(i as u32)).is_ok(),
+            &mut self.ids,
+        );
+        out.clear();
+        out.extend(self.ids.iter().map(|&i| Rec { item: i, score: self.scores[i as usize] }));
+    }
+
+    /// Top-`k` unseen items for `user`, best first.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn recommend(&mut self, user: u32, k: usize) -> Vec<Rec> {
+        let mut out = Vec::with_capacity(k);
+        self.recommend_into(user, k, &mut out);
+        out
+    }
+
+    /// Top-`k` lists for a batch of users (one inner `Vec` per user, in
+    /// request order). The scoring scratch is shared across the whole
+    /// batch; only the returned lists allocate.
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range.
+    pub fn recommend_batch(&mut self, users: &[u32], k: usize) -> Vec<Vec<Rec>> {
+        let mut out = Vec::with_capacity(users.len());
+        for &u in users {
+            let mut one = Vec::with_capacity(k);
+            self.recommend_into(u, k, &mut one);
+            out.push(one);
+        }
+        out
+    }
+
+    /// Scores an explicit candidate list for `user` (no seen-filtering —
+    /// callers asking about specific items get answers about those items).
+    ///
+    /// # Panics
+    /// Panics if `user` or any item id is out of range.
+    pub fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(items.len());
+        self.artifact.score_items_into(user, items, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsl_linalg::Matrix;
+    use bsl_models::EvalScore;
+
+    /// 2 users × 4 items, d = 2, scores = dot with one-hot-ish rows.
+    fn art() -> ModelArtifact {
+        let users = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let items = Matrix::from_vec(4, 2, vec![0.9, 0.0, 0.5, 0.1, 0.1, 0.8, 0.3, 0.3]);
+        ModelArtifact::from_embeddings("MF", &users, &items, EvalScore::Dot)
+    }
+
+    #[test]
+    fn recommend_orders_by_score() {
+        let mut rec = Recommender::new(art());
+        let got = rec.recommend(0, 4);
+        let items: Vec<u32> = got.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![0, 1, 3, 2]);
+        assert!(got.windows(2).all(|w| w[0].score >= w[1].score));
+        assert_eq!(got[0].score, 0.9);
+    }
+
+    #[test]
+    fn seen_items_are_filtered() {
+        let ds = Dataset::from_pairs("s", 2, 4, &[(0, 0), (0, 2)], &[(0, 3)]);
+        let mut rec = Recommender::with_seen(art(), &ds);
+        assert_eq!(rec.seen(0), &[0, 2]);
+        let items: Vec<u32> = rec.recommend(0, 4).iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![1, 3], "seen items 0 and 2 must be excluded");
+        // User 1 has no seen items: full catalogue eligible.
+        assert_eq!(rec.recommend(1, 4).len(), 4);
+    }
+
+    #[test]
+    fn k_larger_than_catalogue_truncates() {
+        let mut rec = Recommender::new(art());
+        assert_eq!(rec.recommend(0, 100).len(), 4);
+        assert!(rec.recommend(0, 0).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_calls() {
+        let ds = Dataset::from_pairs("b", 2, 4, &[(1, 1)], &[]);
+        let mut rec = Recommender::with_seen(art(), &ds);
+        let batch = rec.recommend_batch(&[0, 1, 0], 3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], rec.recommend(0, 3));
+        assert_eq!(batch[1], rec.recommend(1, 3));
+        assert_eq!(batch[2], batch[0], "same user, same answer");
+    }
+
+    #[test]
+    fn score_items_answers_the_candidates_asked() {
+        let rec = Recommender::new(art());
+        let scores = rec.score_items(1, &[2, 0]);
+        assert!((scores[0] - 0.8).abs() < 1e-6);
+        assert!((scores[1] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_calls() {
+        let mut rec = Recommender::new(art());
+        let first = rec.recommend(0, 3);
+        for _ in 0..10 {
+            let again = rec.recommend(0, 3);
+            assert_eq!(again, first);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "artifact user rows != dataset users")]
+    fn with_seen_rejects_shape_mismatch() {
+        let ds = Dataset::from_pairs("m", 3, 4, &[], &[]);
+        let _ = Recommender::with_seen(art(), &ds);
+    }
+}

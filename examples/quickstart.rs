@@ -1,12 +1,14 @@
 //! Quickstart: generate a synthetic implicit-feedback dataset, train
-//! matrix factorization with the paper's Bilateral Softmax Loss, and
-//! report ranking quality.
+//! matrix factorization with the paper's Bilateral Softmax Loss, report
+//! ranking quality, then freeze the model into a `ModelArtifact` and
+//! serve recommendations from it.
 //!
 //! ```text
 //! cargo run --release -p bsl-core --example quickstart
 //! ```
 
 use bsl_core::prelude::*;
+use bsl_serve::Recommender;
 use std::sync::Arc;
 
 fn main() {
@@ -33,5 +35,24 @@ fn main() {
     println!("\nloss trajectory (every 5 epochs):");
     for s in out.history.iter().step_by(5) {
         println!("  epoch {:>3}  loss {:.4}", s.epoch, s.loss);
+    }
+
+    // Freeze the best epoch into a servable artifact and answer a query.
+    // (`out.artifact.save(path)` / `ModelArtifact::load(path)` round-trips
+    // the same tables through disk — see `repro --save` / `--serve`.)
+    let art = &out.artifact;
+    println!(
+        "\nserving artifact: backbone {} ({:?}), {} users × {} items, dim {}",
+        art.backbone(),
+        art.similarity(),
+        art.n_users(),
+        art.n_items(),
+        art.dim()
+    );
+    let mut rec = Recommender::with_seen(art.clone(), &ds);
+    let user = ds.evaluable_users()[0];
+    println!("top-5 for user {user}:");
+    for r in rec.recommend(user, 5) {
+        println!("  item {:>6}  score {:+.4}", r.item, r.score);
     }
 }

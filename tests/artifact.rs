@@ -1,0 +1,137 @@
+//! The train→serve boundary, end to end: a trained model exports a
+//! `ModelArtifact`, the artifact round-trips through the on-disk codec
+//! bit for bit, a `Recommender` over the loaded copy answers exactly what
+//! the in-memory model would, and corrupted/truncated files are rejected.
+
+use bsl_core::prelude::*;
+use bsl_models::{ArtifactError, EvalScore};
+use bsl_serve::Recommender;
+use std::sync::Arc;
+
+fn tiny() -> Arc<Dataset> {
+    Arc::new(generate(&SynthConfig::tiny(1)))
+}
+
+fn train(ds: &Arc<Dataset>, backbone: BackboneConfig, loss: LossConfig) -> TrainOutcome {
+    let cfg =
+        TrainConfig { backbone, loss, epochs: 6, negatives: 8, lr: 0.03, ..TrainConfig::smoke() };
+    Trainer::new(cfg).fit(ds)
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("bsl-artifact-it");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir.join(name)
+}
+
+#[test]
+fn save_load_recommend_is_bit_identical_to_live_model() {
+    let ds = tiny();
+    let out = train(&ds, BackboneConfig::Mf, LossConfig::Bsl { tau1: 0.5, tau2: 0.15 });
+
+    let path = tmp_path("mf.bsla");
+    out.artifact.save(&path).expect("save");
+    let loaded = ModelArtifact::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    // The codec is lossless: tables identical to the last bit.
+    assert_eq!(loaded.users().as_slice(), out.artifact.users().as_slice());
+    assert_eq!(loaded.items().as_slice(), out.artifact.items().as_slice());
+    assert_eq!(loaded.backbone(), out.artifact.backbone());
+    assert_eq!(loaded.similarity(), out.artifact.similarity());
+
+    // The loaded artifact must also reproduce a *fresh* export of the
+    // live model's raw embeddings — i.e. disk round trip ≡ in-memory
+    // model, not just disk ≡ disk.
+    let fresh = ModelArtifact::from_embeddings("MF", &out.user_emb, &out.item_emb, out.eval_score);
+    assert_eq!(loaded.users().as_slice(), fresh.users().as_slice());
+    assert_eq!(loaded.items().as_slice(), fresh.items().as_slice());
+
+    // recommend(user, k): identical item ids AND identical score bits.
+    let users: Vec<u32> = (0..ds.n_users as u32).collect();
+    let mut live = Recommender::with_seen(out.artifact.clone(), &ds);
+    let mut served = Recommender::with_seen(loaded, &ds);
+    for (a, b) in
+        live.recommend_batch(&users, 10).iter().zip(served.recommend_batch(&users, 10).iter())
+    {
+        assert_eq!(a, b, "loaded artifact must serve bit-identical recommendations");
+    }
+}
+
+#[test]
+fn eval_metrics_through_artifact_path_are_unchanged() {
+    let ds = tiny();
+    let out = train(&ds, BackboneConfig::Mf, LossConfig::Sl { tau: 0.15 });
+
+    // The training loop's best report came from the same artifact path —
+    // evaluate_on must reproduce it exactly.
+    let re = out.evaluate_on(&ds, &[5, 10, 15, 20]);
+    assert_eq!(re.ndcg(20), out.best.ndcg(20));
+    assert_eq!(re.recall(20), out.best.recall(20));
+
+    // And a disk round trip changes nothing.
+    let path = tmp_path("mf-eval.bsla");
+    out.artifact.save(&path).expect("save");
+    let loaded = ModelArtifact::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    let rl = evaluate_artifact(&ds, &loaded, &[5, 10, 15, 20]);
+    assert_eq!(rl.ndcg(20), out.best.ndcg(20));
+    assert_eq!(rl.recall(10), re.recall(10));
+}
+
+#[test]
+fn cml_artifact_round_trips_with_the_distance_augmentation() {
+    let ds = tiny();
+    let out = train(&ds, BackboneConfig::Cml, LossConfig::Hinge { margin: 0.5 });
+    assert_eq!(out.eval_score, EvalScore::NegSqDist);
+    assert_eq!(out.artifact.dim(), out.user_emb.cols() + 1, "augmentation baked into the export");
+
+    let path = tmp_path("cml.bsla");
+    out.artifact.save(&path).expect("save");
+    let loaded = ModelArtifact::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let mut live = Recommender::with_seen(out.artifact.clone(), &ds);
+    let mut served = Recommender::with_seen(loaded, &ds);
+    let users: Vec<u32> = ds.evaluable_users();
+    assert_eq!(live.recommend_batch(&users, 10), served.recommend_batch(&users, 10));
+}
+
+#[test]
+fn corrupted_and_truncated_files_are_rejected() {
+    let ds = tiny();
+    let out = train(&ds, BackboneConfig::Mf, LossConfig::Sl { tau: 0.15 });
+    let bytes = out.artifact.to_bytes();
+
+    // Bad magic.
+    let path = tmp_path("bad-magic.bsla");
+    let mut b = bytes.clone();
+    b[0] = b'Z';
+    std::fs::write(&path, &b).expect("write");
+    assert!(matches!(ModelArtifact::load(&path), Err(ArtifactError::BadMagic)));
+
+    // Corrupted header field (dim), checksum re-stamped NOT — must trip
+    // the checksum or size validation, never decode garbage.
+    let mut b = bytes.clone();
+    b[36] ^= 0x02;
+    std::fs::write(&path, &b).expect("write");
+    assert!(ModelArtifact::load(&path).is_err());
+
+    // Flipped payload byte deep in the item table.
+    let mut b = bytes.clone();
+    let last = b.len() - 3;
+    b[last] ^= 0x10;
+    std::fs::write(&path, &b).expect("write");
+    assert!(matches!(ModelArtifact::load(&path), Err(ArtifactError::ChecksumMismatch)));
+
+    // Truncated file (half the payload gone).
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write");
+    assert!(matches!(ModelArtifact::load(&path), Err(ArtifactError::Truncated { .. })));
+
+    // Missing file surfaces as Io.
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(ModelArtifact::load(&path), Err(ArtifactError::Io(_))));
+
+    // The pristine bytes still decode (the fixture itself is valid).
+    assert!(ModelArtifact::from_bytes(&bytes).is_ok());
+}

@@ -4,8 +4,8 @@
 
 use bsl_core::prelude::*;
 use bsl_core::SamplingConfig;
-use bsl_eval::ScoreKind;
 use bsl_linalg::Matrix;
+use bsl_models::EvalScore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -18,7 +18,7 @@ fn chance_ndcg(ds: &Arc<Dataset>) -> f64 {
     let mut rng = StdRng::seed_from_u64(12345);
     let u = Matrix::xavier_uniform(ds.n_users, 16, &mut rng);
     let i = Matrix::xavier_uniform(ds.n_items, 16, &mut rng);
-    evaluate(ds, &u, &i, ScoreKind::Cosine, &[20]).ndcg(20)
+    evaluate(ds, &u, &i, EvalScore::Cosine, &[20]).ndcg(20)
 }
 
 fn train(ds: &Arc<Dataset>, backbone: BackboneConfig, loss: LossConfig) -> f64 {
@@ -82,15 +82,13 @@ fn cml_hinge_learns() {
 
 #[test]
 fn standalone_baselines_learn() {
-    use bsl_core::trainer::evaluate_embeddings;
     use bsl_models::enmf::{train_enmf, EnmfConfig};
     use bsl_models::ultragcn::{train_ultragcn, UltraGcnConfig};
-    use bsl_models::EvalScore;
     let ds = tiny();
     let chance = chance_ndcg(&ds);
 
     let (ue, ie) = train_enmf(&ds, &EnmfConfig { dim: 16, epochs: 50, ..EnmfConfig::default() });
-    let enmf = evaluate_embeddings(&ds, &ue, &ie, EvalScore::Dot, &[20]).ndcg(20);
+    let enmf = evaluate(&ds, &ue, &ie, EvalScore::Dot, &[20]).ndcg(20);
     assert!(enmf > chance * 1.5, "ENMF failed: {enmf:.4} vs chance {chance:.4}");
 
     let (uu, ui) = train_ultragcn(
@@ -103,7 +101,7 @@ fn standalone_baselines_learn() {
             ..UltraGcnConfig::default()
         },
     );
-    let ug = evaluate_embeddings(&ds, &uu, &ui, EvalScore::Dot, &[20]).ndcg(20);
+    let ug = evaluate(&ds, &uu, &ui, EvalScore::Dot, &[20]).ndcg(20);
     assert!(ug > chance * 1.5, "UltraGCN failed: {ug:.4} vs chance {chance:.4}");
 }
 

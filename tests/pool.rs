@@ -32,7 +32,7 @@ fn random_baseline(ds: &Arc<Dataset>) -> f64 {
     let mut rng = StdRng::seed_from_u64(999);
     let u = Matrix::xavier_uniform(ds.n_users, 16, &mut rng);
     let i = Matrix::xavier_uniform(ds.n_items, 16, &mut rng);
-    evaluate(ds, &u, &i, ScoreKind::Cosine, &[20]).ndcg(20)
+    evaluate(ds, &u, &i, EvalScore::Cosine, &[20]).ndcg(20)
 }
 
 #[test]
