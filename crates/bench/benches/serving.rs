@@ -4,7 +4,7 @@
 
 use bsl_data::synth::{generate, SynthConfig};
 use bsl_linalg::Matrix;
-use bsl_models::{EvalScore, ModelArtifact};
+use bsl_models::{EvalScore, IvfIndex, ModelArtifact};
 use bsl_serve::Recommender;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -17,9 +17,29 @@ fn bench_serving(c: &mut Criterion) {
     let i = Matrix::gaussian(ds.n_items, 64, 0.1, &mut rng);
     let art = ModelArtifact::from_embeddings("MF", &u, &i, EvalScore::Cosine);
 
+    // The format-v2 production configuration: int8 tables + IVF index at
+    // the default parameters. Announce them so bench_baseline.sh can pin
+    // the configuration into the BENCHMARKS.md header.
+    let mut v2 = art.quantize();
+    v2.build_default_ivf();
+    let (nlist, nprobe) = {
+        let ix = v2.index().expect("index");
+        (ix.nlist(), ix.default_nprobe())
+    };
+    println!(
+        "serving config: format v{}, nlist={nlist}, nprobe={nprobe}",
+        bsl_models::artifact::FORMAT_VERSION
+    );
+
     // Artifact codec round-trip through memory (no disk noise).
     c.bench_function("artifact_codec_roundtrip_yelp_d64", |b| {
         b.iter(|| ModelArtifact::from_bytes(&black_box(&art).to_bytes()).expect("decode"))
+    });
+
+    // IVF index construction over the prepared item table (the one-time
+    // cost paid at artifact export or load).
+    c.bench_function("index_build_yelp_d64", |b| {
+        b.iter(|| IvfIndex::build(black_box(art.items()), nlist))
     });
 
     let mut rec = Recommender::with_seen(art, &ds);
@@ -39,6 +59,15 @@ fn bench_serving(c: &mut Criterion) {
             rec.recommend_into(black_box(batch[0]), 10, &mut out);
             black_box(&out);
         })
+    });
+
+    // The sub-linear path: same batch, same k, served through int8 tables
+    // and the IVF shortlist at the default nprobe. Compare directly to
+    // recommend_b64_k10_yelp_d64 — the gap is the ANN speedup.
+    let mut ivf_rec = Recommender::with_seen(v2, &ds);
+    let _ = ivf_rec.recommend_batch(&batch, 10);
+    c.bench_function("ivf_recommend_b64_k10_yelp_d64", |b| {
+        b.iter(|| ivf_rec.recommend_batch(black_box(&batch), 10))
     });
 }
 

@@ -15,7 +15,10 @@
 //! `ModelArtifact` to disk; `--serve <path>` loads it back and prints
 //! top-10 recommendations for a few users — the on-disk round trip of the
 //! train→serve boundary. They may be combined in one invocation (save
-//! runs first) and need no experiment name.
+//! runs first) and need no experiment name. `--ann` makes `--save` export
+//! the format-v2 production configuration (int8-quantized item table +
+//! IVF index); `--nprobe N` makes `--serve` probe `N` inverted lists per
+//! query instead of the index's default (`N ≥ nlist` serves exactly).
 
 use bsl_bench::experiments::*;
 use bsl_bench::Scale;
@@ -29,8 +32,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale quick|full] [--threads N] [--sync exact|hogwild]"
     );
-    eprintln!("       repro --save <artifact-path>   train MF+BSL, export + save the artifact");
-    eprintln!("       repro --serve <artifact-path>  load an artifact, print top-10 per user");
+    eprintln!("       repro --save <artifact-path> [--ann]");
+    eprintln!("           train MF+BSL, export + save the artifact; --ann additionally");
+    eprintln!("           quantizes the item table to int8 and attaches an IVF index (format v2)");
+    eprintln!("       repro --serve <artifact-path> [--nprobe N]");
+    eprintln!("           load an artifact, print top-10 per user; --nprobe N probes N");
+    eprintln!("           inverted lists per query (needs an --ann artifact; N >= nlist = exact)");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
         "(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)"
@@ -71,11 +78,19 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut save_path: Option<String> = None;
     let mut serve_path: Option<String> = None;
+    let mut ann = false;
+    let mut nprobe: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--save" => save_path = Some(it.next().unwrap_or_else(|| usage())),
             "--serve" => serve_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--ann" => ann = true,
+            "--nprobe" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                nprobe = Some(n.max(1));
+            }
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale = Scale::parse(&v).unwrap_or_else(|| usage());
@@ -97,11 +112,19 @@ fn main() {
             other => names.push(other.to_string()),
         }
     }
+    if ann && save_path.is_none() {
+        eprintln!("--ann only applies to --save");
+        usage();
+    }
+    if nprobe.is_some() && serve_path.is_none() {
+        eprintln!("--nprobe only applies to --serve");
+        usage();
+    }
     if let Some(path) = &save_path {
-        serve_demo::save(path, scale);
+        serve_demo::save(path, scale, ann);
     }
     if let Some(path) = &serve_path {
-        serve_demo::serve(path);
+        serve_demo::serve(path, nprobe);
     }
     if names.is_empty() {
         if save_path.is_some() || serve_path.is_some() {

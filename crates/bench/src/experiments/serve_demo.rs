@@ -10,7 +10,7 @@
 use super::common::{base_cfg, Scale};
 use bsl_core::prelude::*;
 use bsl_data::synth::{generate, SynthConfig};
-use bsl_serve::Recommender;
+use bsl_serve::{Recommender, Retrieval};
 use std::sync::Arc;
 
 /// The dataset both halves of the round trip agree on.
@@ -19,41 +19,72 @@ fn demo_dataset() -> Arc<Dataset> {
 }
 
 /// Trains MF + BSL at `scale`, exports the best epoch's artifact, and
-/// saves it to `path`.
-pub fn save(path: &str, scale: Scale) {
+/// saves it to `path`. With `ann`, the artifact is saved in the format-v2
+/// production configuration: int8-quantized item table plus an IVF index
+/// at the default `nlist` — what `--serve` then probes sub-linearly.
+pub fn save(path: &str, scale: Scale, ann: bool) {
     let ds = demo_dataset();
     println!("# Artifact save — {} — {}", ds.name, ds.stats());
     let cfg = TrainConfig { loss: LossConfig::Bsl { tau1: 0.3, tau2: 0.15 }, ..base_cfg(scale) };
     println!("training {} …", cfg.label());
     let out = Trainer::new(cfg).fit(&ds);
     println!("best epoch {} — NDCG@20 {:.4}", out.best_epoch, out.best.ndcg(20));
-    out.artifact.save(path).unwrap_or_else(|e| panic!("saving artifact to {path}: {e}"));
+    let mut art = out.artifact;
+    if ann {
+        art = art.quantize();
+        art.build_default_ivf();
+        let ix = art.index().expect("build_default_ivf attaches an index");
+        println!(
+            "quantized items to int8 and built IVF index: nlist {}, default nprobe {}",
+            ix.nlist(),
+            ix.default_nprobe()
+        );
+    }
+    art.save(path).unwrap_or_else(|e| panic!("saving artifact to {path}: {e}"));
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     println!(
-        "wrote {path}: backbone {} ({:?}), {} users × {} items, dim {}, {:.1} MiB",
-        out.artifact.backbone(),
-        out.artifact.similarity(),
-        out.artifact.n_users(),
-        out.artifact.n_items(),
-        out.artifact.dim(),
+        "wrote {path}: backbone {} ({:?}), {} users × {} items, dim {}, {:?} items, {:.1} MiB",
+        art.backbone(),
+        art.similarity(),
+        art.n_users(),
+        art.n_items(),
+        art.dim(),
+        art.precision(),
         bytes as f64 / (1024.0 * 1024.0)
     );
 }
 
 /// Loads the artifact at `path` and prints top-10 recommendations for a
 /// few evaluable users, flagging retrieved items that are test-split hits.
-pub fn serve(path: &str) {
+/// `nprobe` overrides the IVF probe width (the artifact must carry an
+/// index — save it with `--ann`); `None` keeps the automatic mode.
+pub fn serve(path: &str, nprobe: Option<usize>) {
     let art = ModelArtifact::load(path).unwrap_or_else(|e| panic!("loading {path}: {e}"));
     println!(
-        "# Artifact serve — {path}: backbone {} ({:?}), {} users × {} items, dim {}",
+        "# Artifact serve — {path}: backbone {} ({:?}), {} users × {} items, dim {}, {:?} items",
         art.backbone(),
         art.similarity(),
         art.n_users(),
         art.n_items(),
-        art.dim()
+        art.dim(),
+        art.precision()
     );
     let ds = demo_dataset();
     let mut rec = Recommender::with_seen(art, &ds);
+    if let Some(np) = nprobe {
+        assert!(
+            rec.artifact().index().is_some(),
+            "--nprobe needs an IVF-indexed artifact (save it with --ann)"
+        );
+        rec.set_nprobe(np);
+    }
+    match rec.retrieval() {
+        Retrieval::Exact => println!("retrieval: exact full scan"),
+        Retrieval::Ivf { nprobe } => {
+            let nlist = rec.artifact().index().expect("IVF mode implies an index").nlist();
+            println!("retrieval: IVF, probing {nprobe} of {nlist} lists");
+        }
+    }
     let users: Vec<u32> = ds.evaluable_users().into_iter().take(4).collect();
     let k = 10;
     for (u, recs) in users.iter().zip(rec.recommend_batch(&users, k)) {

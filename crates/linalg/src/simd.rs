@@ -229,6 +229,20 @@ pub mod scalar {
             *p -= lr * *vi;
         }
     }
+
+    /// Reference fused int8→f32 dequantize-dot: `scale · Σ q[j]·row[j]`,
+    /// widening each quantized value in the accumulation loop (no
+    /// materialized f32 row). The one scale multiply happens after the
+    /// reduction, so the quantization grid never re-rounds per element.
+    #[inline]
+    pub fn dequant_dot(q: &[f32], row: &[i8], scale: f32) -> f32 {
+        debug_assert_eq!(q.len(), row.len());
+        let mut acc = 0.0f32;
+        for (x, &b) in q.iter().zip(row.iter()) {
+            acc += x * b as f32;
+        }
+        acc * scale
+    }
 }
 
 /// 8-lane unrolled stable-Rust kernels: independent per-lane accumulators
@@ -381,6 +395,26 @@ mod portable {
     #[inline]
     pub fn sgd_momentum_update(param: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, mu: f32) {
         super::scalar::sgd_momentum_update(param, v, g, lr, mu);
+    }
+
+    /// 8-lane unrolled int8→f32 dequantize-dot (per-lane widening, lane
+    /// fold, one trailing scale multiply).
+    #[inline]
+    pub fn dequant_dot(q: &[f32], row: &[i8], scale: f32) -> f32 {
+        debug_assert_eq!(q.len(), row.len());
+        let mut lanes = [0.0f32; 8];
+        let mut qc = q.chunks_exact(8);
+        let mut rc = row.chunks_exact(8);
+        for (cq, cr) in (&mut qc).zip(&mut rc) {
+            for k in 0..8 {
+                lanes[k] += cq[k] * cr[k] as f32;
+            }
+        }
+        let mut acc = fold8(lanes);
+        for (x, &b) in qc.remainder().iter().zip(rc.remainder().iter()) {
+            acc += x * b as f32;
+        }
+        acc * scale
     }
 }
 
@@ -753,6 +787,135 @@ mod avx2 {
         debug_assert_eq!(v.len(), g.len());
         unsafe { sgd_momentum_impl(param, v, g, lr, mu) }
     }
+
+    /// Widens 8 packed `i8` values (the low 8 bytes of `b`) to one f32
+    /// register: sign-extend to i32 lanes, then convert.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn widen8(b: __m128i) -> __m256 {
+        _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dequant_dot_impl(q: &[f32], row: &[i8]) -> f32 {
+        debug_assert_eq!(q.len(), row.len());
+        let n = q.len();
+        let (pq, pr) = (q.as_ptr(), row.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // One 16-byte load covers two 8-lane dequant groups.
+            let b = _mm_loadu_si128(pr.add(i).cast());
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), widen8(b), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pq.add(i + 8)),
+                widen8(_mm_srli_si128::<8>(b)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            let b = _mm_loadl_epi64(pr.add(i).cast());
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), widen8(b), acc0);
+            i += 8;
+        }
+        let mut out = hsum(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            // Sub-8 tail: i8 lanes have no maskload, so finish scalar.
+            out = f32::mul_add(*pq.add(i), *pr.add(i) as f32, out);
+            i += 1;
+        }
+        out
+    }
+
+    /// Fused int8→f32 dequantize-dot: `scale · Σ q[j]·row[j]` with the
+    /// widening done in-register (no materialized f32 row).
+    #[inline]
+    pub fn dequant_dot(q: &[f32], row: &[i8], scale: f32) -> f32 {
+        unsafe { dequant_dot_impl(q, row) * scale }
+    }
+
+    /// Two simultaneous dequant-dots of one query against quantized rows
+    /// `r0`, `r1` — shares the query loads across both rows, like
+    /// [`dot2_impl`] does for f32.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dequant_dot2_impl(q: &[f32], r0: &[i8], r1: &[i8]) -> (f32, f32) {
+        let n = q.len();
+        let (pq, p0, p1) = (q.as_ptr(), r0.as_ptr(), r1.as_ptr());
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let vq = _mm256_loadu_ps(pq.add(i));
+            a0 = _mm256_fmadd_ps(vq, widen8(_mm_loadl_epi64(p0.add(i).cast())), a0);
+            a1 = _mm256_fmadd_ps(vq, widen8(_mm_loadl_epi64(p1.add(i).cast())), a1);
+            i += 8;
+        }
+        let (mut s0, mut s1) = (hsum(a0), hsum(a1));
+        while i < n {
+            let x = *pq.add(i);
+            s0 = f32::mul_add(x, *p0.add(i) as f32, s0);
+            s1 = f32::mul_add(x, *p1.add(i) as f32, s1);
+            i += 1;
+        }
+        (s0, s1)
+    }
+
+    /// `out[j] = scales[j] · <q, block_i8[j·d ..]>` for an `M × d`
+    /// quantized row block, two rows per pass.
+    #[inline]
+    pub fn scores_block_i8(q: &[f32], block: &[i8], scales: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        let mut j = 0usize;
+        while j + 2 <= out.len() {
+            let (s0, s1) = unsafe {
+                dequant_dot2_impl(q, &block[j * d..(j + 1) * d], &block[(j + 1) * d..(j + 2) * d])
+            };
+            out[j] = s0 * scales[j];
+            out[j + 1] = s1 * scales[j + 1];
+            j += 2;
+        }
+        if j < out.len() {
+            out[j] = dequant_dot(q, &block[j * d..(j + 1) * d], scales[j]);
+        }
+    }
+
+    /// `out[j] = scales[ids[j]] · <q, table[ids[j]·d ..]>` for gathered
+    /// rows of an `n × d` quantized table — one target-feature region
+    /// covers the whole candidate list, so the per-row dispatch + call
+    /// overhead of looping [`dequant_dot`] from safe code disappears and
+    /// each row pair shares the query loads.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn scores_gather_i8_impl(
+        q: &[f32],
+        table: &[i8],
+        scales: &[f32],
+        ids: &[u32],
+        out: &mut [f32],
+    ) {
+        let d = q.len();
+        let mut j = 0usize;
+        while j + 2 <= ids.len() {
+            let (i0, i1) = (ids[j] as usize, ids[j + 1] as usize);
+            let (s0, s1) =
+                dequant_dot2_impl(q, &table[i0 * d..(i0 + 1) * d], &table[i1 * d..(i1 + 1) * d]);
+            out[j] = s0 * scales[i0];
+            out[j + 1] = s1 * scales[i1];
+            j += 2;
+        }
+        if j < ids.len() {
+            let i = ids[j] as usize;
+            out[j] = dequant_dot_impl(q, &table[i * d..(i + 1) * d]) * scales[i];
+        }
+    }
+
+    /// Safe wrapper for the gathered int8 scorer (AVX2+FMA verified by the
+    /// dispatch tables before this is reachable).
+    #[inline]
+    pub fn scores_gather_i8(q: &[f32], table: &[i8], scales: &[f32], ids: &[u32], out: &mut [f32]) {
+        unsafe { scores_gather_i8_impl(q, table, scales, ids, out) }
+    }
 }
 
 // Non-x86 targets fall back to the portable kernels when the enum says
@@ -952,6 +1115,24 @@ pub fn sgd_momentum_update(param: &mut [f32], v: &mut [f32], g: &[f32], lr: f32,
     sgd_momentum_update_with(active(), param, v, g, lr, mu)
 }
 
+/// Fused int8→f32 dequantize-dot at an explicit dispatch level:
+/// `scale · Σ q[j]·row[j]`, widening the quantized row in the accumulation
+/// loop — quantized score tables are never materialized as f32.
+#[inline]
+pub fn dequant_dot_with(lv: SimdLevel, q: &[f32], row: &[i8], scale: f32) -> f32 {
+    match lv {
+        SimdLevel::Scalar => scalar::dequant_dot(q, row, scale),
+        SimdLevel::Portable => portable::dequant_dot(q, row, scale),
+        SimdLevel::Avx2Fma => accel::dequant_dot(q, row, scale),
+    }
+}
+
+/// Fused int8→f32 dequantize-dot at the process dispatch level.
+#[inline]
+pub fn dequant_dot(q: &[f32], row: &[i8], scale: f32) -> f32 {
+    dequant_dot_with(active(), q, row, scale)
+}
+
 // ---------------------------------------------------------------------------
 // Blocked kernels: dispatch resolved once per call, loops run on the
 // level-specific implementations.
@@ -1061,6 +1242,81 @@ pub fn scores_block(q: &[f32], block: &[f32], out: &mut [f32]) {
         SimdLevel::Avx2Fma => {
             for (o, row) in out.iter_mut().zip(block.chunks_exact(d)) {
                 *o = portable::dot(q, row);
+            }
+        }
+    }
+}
+
+/// Scores one query row against an `M × d` *quantized* row block:
+/// `out[j] = scales[j] · <q, block[j]>` — the int8 twin of
+/// [`scores_block`], and the full-scan hot path for int8 artifacts.
+///
+/// The AVX2 path widens two quantized rows per pass in-register, sharing
+/// the query loads; scalar dispatch reduces to a per-row
+/// [`scalar::dequant_dot`] loop.
+///
+/// # Panics
+/// Panics if `block.len() != out.len() * q.len()` or
+/// `scales.len() != out.len()`.
+pub fn scores_block_i8(q: &[f32], block: &[i8], scales: &[f32], out: &mut [f32]) {
+    let d = q.len();
+    assert_eq!(block.len(), out.len() * d, "scores_block_i8 shape mismatch");
+    assert_eq!(scales.len(), out.len(), "scores_block_i8 scales length mismatch");
+    match active() {
+        SimdLevel::Scalar => {
+            for ((o, row), &s) in out.iter_mut().zip(block.chunks_exact(d)).zip(scales.iter()) {
+                *o = scalar::dequant_dot(q, row, s);
+            }
+        }
+        SimdLevel::Portable => {
+            for ((o, row), &s) in out.iter_mut().zip(block.chunks_exact(d)).zip(scales.iter()) {
+                *o = portable::dequant_dot(q, row, s);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => avx2::scores_block_i8(q, block, scales, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2Fma => {
+            for ((o, row), &s) in out.iter_mut().zip(block.chunks_exact(d)).zip(scales.iter()) {
+                *o = portable::dequant_dot(q, row, s);
+            }
+        }
+    }
+}
+
+/// Scores one query row against *gathered* rows of an `n × d` quantized
+/// table: `out[j] = scales[ids[j]] · <q, table_row(ids[j])>` — the IVF
+/// shortlist-rescoring hot path. Unlike looping [`dequant_dot`], the whole
+/// candidate list is scored inside one dispatch (and, on AVX2, one
+/// target-feature region with two rows per pass sharing the query loads).
+///
+/// # Panics
+/// Panics if `table.len() != scales.len() * q.len()`,
+/// `out.len() != ids.len()`, or any id indexes past the table.
+pub fn scores_gather_i8(q: &[f32], table: &[i8], scales: &[f32], ids: &[u32], out: &mut [f32]) {
+    let d = q.len();
+    assert_eq!(table.len(), scales.len() * d, "scores_gather_i8 table shape mismatch");
+    assert_eq!(out.len(), ids.len(), "scores_gather_i8 output length mismatch");
+    match active() {
+        SimdLevel::Scalar => {
+            for (o, &i) in out.iter_mut().zip(ids.iter()) {
+                let i = i as usize;
+                *o = scalar::dequant_dot(q, &table[i * d..(i + 1) * d], scales[i]);
+            }
+        }
+        SimdLevel::Portable => {
+            for (o, &i) in out.iter_mut().zip(ids.iter()) {
+                let i = i as usize;
+                *o = portable::dequant_dot(q, &table[i * d..(i + 1) * d], scales[i]);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => avx2::scores_gather_i8(q, table, scales, ids, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx2Fma => {
+            for (o, &i) in out.iter_mut().zip(ids.iter()) {
+                let i = i as usize;
+                *o = portable::dequant_dot(q, &table[i * d..(i + 1) * d], scales[i]);
             }
         }
     }
@@ -1369,6 +1625,77 @@ mod tests {
             }
             let mut got = vec![0.02f32; d];
             cosine_backward_block(&gs, &ss, &q, qn, &block, &mut got);
+            for (x, w) in got.iter().zip(want.iter()) {
+                prop_assert!(rel_close(*x, *w, 1e-4));
+            }
+        }
+
+        /// Every dispatch level's fused dequant-dot matches the scalar
+        /// reference within tolerance, and the whole int8 pipeline
+        /// (quantized row × f32 query) matches the plain f32 dot of the
+        /// dequantized row — across non-multiple-of-8 tails.
+        #[test]
+        fn prop_dequant_dot_matches_scalar_and_f32(
+            q in vec_strategy(130),
+            bytes in proptest::collection::vec(-127i8..=127, 0..130),
+            scale in 0.0f32..0.1,
+        ) {
+            let n = q.len().min(bytes.len());
+            let (q, row) = (&q[..n], &bytes[..n]);
+            let want = scalar::dequant_dot(q, row, scale);
+            for lv in simd_levels() {
+                prop_assert!(rel_close(dequant_dot_with(lv, q, row, scale), want, 1e-4), "{lv}");
+            }
+            // The fused kernel is the dot of the dequantized row.
+            let deq: Vec<f32> = row.iter().map(|&b| b as f32 * scale).collect();
+            let via_f32 = scalar::dot(q, &deq);
+            prop_assert!(rel_close(want, via_f32, 1e-4), "fused {want} vs dequantized {via_f32}");
+        }
+
+        /// Blocked int8 scoring agrees with per-row scalar dequant-dots
+        /// across random block shapes (odd d, odd M — the two-row AVX2
+        /// microkernel's single-row remainder path included).
+        #[test]
+        fn prop_scores_block_i8_matches_scalar(d in 1usize..40, m in 0usize..9, seed in 0u64..100) {
+            let q: Vec<f32> = (0..d).map(|i| ((i as u64 + seed) % 13) as f32 * 0.2 - 1.0).collect();
+            let block: Vec<i8> = (0..m * d)
+                .map(|i| (((i as u64 * 7 + seed) % 255) as i64 - 127) as i8)
+                .collect();
+            let scales: Vec<f32> = (0..m).map(|j| 0.002 + 0.001 * j as f32).collect();
+            let mut want = vec![0.0f32; m];
+            for ((o, row), &s) in want.iter_mut().zip(block.chunks_exact(d)).zip(scales.iter()) {
+                *o = scalar::dequant_dot(&q, row, s);
+            }
+            let mut got = vec![0.0f32; m];
+            scores_block_i8(&q, &block, &scales, &mut got);
+            for (x, w) in got.iter().zip(want.iter()) {
+                prop_assert!(rel_close(*x, *w, 1e-4));
+            }
+        }
+
+        /// Gathered int8 scoring agrees with per-row scalar dequant-dots
+        /// for arbitrary (repeating, unsorted) id lists — odd candidate
+        /// counts exercise the AVX2 single-row remainder.
+        #[test]
+        fn prop_scores_gather_i8_matches_scalar(
+            d in 1usize..40,
+            n in 1usize..9,
+            picks in proptest::collection::vec(0usize..9, 0..20),
+            seed in 0u64..100,
+        ) {
+            let q: Vec<f32> = (0..d).map(|i| ((i as u64 + seed) % 13) as f32 * 0.2 - 1.0).collect();
+            let table: Vec<i8> = (0..n * d)
+                .map(|i| (((i as u64 * 11 + seed) % 255) as i64 - 127) as i8)
+                .collect();
+            let scales: Vec<f32> = (0..n).map(|j| 0.002 + 0.001 * j as f32).collect();
+            let ids: Vec<u32> = picks.iter().map(|&p| (p % n) as u32).collect();
+            let mut want = vec![0.0f32; ids.len()];
+            for (o, &i) in want.iter_mut().zip(ids.iter()) {
+                let i = i as usize;
+                *o = scalar::dequant_dot(&q, &table[i * d..(i + 1) * d], scales[i]);
+            }
+            let mut got = vec![0.0f32; ids.len()];
+            scores_gather_i8(&q, &table, &scales, &ids, &mut got);
             for (x, w) in got.iter().zip(want.iter()) {
                 prop_assert!(rel_close(*x, *w, 1e-4));
             }

@@ -101,6 +101,69 @@ impl TopK {
     }
 }
 
+/// `(score, id)` comparison for [`select_scored_into`]: higher score wins,
+/// equal scores break toward the smaller id (NaN loses to everything).
+#[inline]
+fn beats(s: f32, id: u32, ws: f32, wid: u32) -> bool {
+    match OrdF32(s).cmp(&OrdF32(ws)) {
+        Ordering::Greater => true,
+        Ordering::Equal => id < wid,
+        Ordering::Less => false,
+    }
+}
+
+/// Writes the `k` best `(id, score)` pairs of a scored candidate list into
+/// `out` (cleared first), best first; equal scores break toward the
+/// *smaller id*. Candidates whose position is flagged by `mask` (`true` =
+/// exclude) are skipped.
+///
+/// Because the tie-break is on the id **value** (not the scan position),
+/// the result is independent of candidate order — IVF shortlists need no
+/// sort before selection, and the outcome matches a full-catalogue
+/// [`TopK`] scan restricted to the same candidates. `out` doubles as the
+/// insertion buffer: for shortlist-sized inputs and small `k` the
+/// maintain-a-sorted-prefix scan beats a heap (one branchy `f32` compare
+/// rejects a losing candidate *before* the mask closure runs, so an
+/// expensive mask — e.g. a seen-items binary search — is only paid for
+/// potential winners).
+///
+/// # Panics
+/// Panics if `scores` and `ids` lengths disagree.
+pub fn select_scored_into(
+    scores: &[f32],
+    ids: &[u32],
+    k: usize,
+    mask: impl Fn(usize) -> bool,
+    out: &mut Vec<(u32, f32)>,
+) {
+    assert_eq!(scores.len(), ids.len(), "select_scored_into length mismatch");
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    for (p, (&s, &id)) in scores.iter().zip(ids.iter()).enumerate() {
+        if out.len() == k {
+            let (wid, ws) = *out.last().unwrap();
+            if !beats(s, id, ws, wid) {
+                continue;
+            }
+        }
+        if mask(p) {
+            continue;
+        }
+        if out.len() == k {
+            out.pop();
+        }
+        // Insert into the sorted suffix (winners are rare, so the shift is
+        // short in the common case).
+        let mut i = out.len();
+        while i > 0 && beats(s, id, out[i - 1].1, out[i - 1].0) {
+            i -= 1;
+        }
+        out.insert(i, (id, s));
+    }
+}
+
 /// Returns the indices of the `k` largest entries of `scores`, ordered from
 /// best to worst. Ties break toward the smaller index (deterministic).
 ///
@@ -196,7 +259,66 @@ mod tests {
         }
     }
 
+    /// Naive reference for [`select_scored_into`]: sort unmasked (id,
+    /// score) pairs by (score desc, id asc) and truncate.
+    fn naive_scored(
+        scores: &[f32],
+        ids: &[u32],
+        k: usize,
+        mask: impl Fn(usize) -> bool,
+    ) -> Vec<(u32, f32)> {
+        let mut pairs: Vec<(u32, f32)> = scores
+            .iter()
+            .zip(ids.iter())
+            .enumerate()
+            .filter(|&(p, _)| !mask(p))
+            .map(|(_, (&s, &i))| (i, s))
+            .collect();
+        pairs.sort_by(|a, b| OrdF32(b.1).cmp(&OrdF32(a.1)).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    #[test]
+    fn select_scored_is_scan_order_independent() {
+        let ids = [40u32, 10, 30, 20, 50];
+        let scores = [1.0f32, 2.0, 1.0, 2.0, 0.5];
+        let mut fwd = Vec::new();
+        select_scored_into(&scores, &ids, 3, |_| false, &mut fwd);
+        // Reversed scan must give the same answer: ties break on id value.
+        let rids: Vec<u32> = ids.iter().rev().copied().collect();
+        let rscores: Vec<f32> = scores.iter().rev().copied().collect();
+        let mut rev = Vec::new();
+        select_scored_into(&rscores, &rids, 3, |_| false, &mut rev);
+        assert_eq!(fwd, vec![(10, 2.0), (20, 2.0), (30, 1.0)]);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn select_scored_masks_by_position() {
+        let ids = [7u32, 8, 9];
+        let scores = [3.0f32, 2.0, 1.0];
+        let mut out = Vec::new();
+        select_scored_into(&scores, &ids, 2, |p| p == 0, &mut out);
+        assert_eq!(out, vec![(8, 2.0), (9, 1.0)]);
+    }
+
     proptest! {
+        /// The insertion selector must match the naive sort-and-truncate
+        /// reference for arbitrary (unsorted, tied) candidate lists.
+        #[test]
+        fn prop_select_scored_matches_naive(
+            q in proptest::collection::vec((0u8..6, 0u32..40), 0..60),
+            k in 0usize..20,
+            mask_mod in 1usize..7,
+        ) {
+            let scores: Vec<f32> = q.iter().map(|&(v, _)| v as f32 * 0.5 - 1.0).collect();
+            let ids: Vec<u32> = q.iter().map(|&(_, i)| i).collect();
+            let mut got = Vec::new();
+            select_scored_into(&scores, &ids, k, |p| p % mask_mod == 0, &mut got);
+            prop_assert_eq!(got, naive_scored(&scores, &ids, k, |p| p % mask_mod == 0));
+        }
+
         /// Quantized scores force heavy ties; `k` ranges past `n` to cover
         /// the k ≥ n edge. The heap selection must match the naive
         /// sort-and-truncate reference exactly, masked or not.

@@ -30,25 +30,29 @@ pub mod backbone;
 pub mod cml;
 pub mod enmf;
 pub mod grad;
+pub mod ivf;
 pub mod lightgcl;
 pub mod lightgcn;
 pub mod lrgccf;
 pub mod mf;
 pub mod ngcf;
 pub mod propagation;
+pub mod quant;
 pub mod sgl;
 pub mod shard;
 pub mod simgcl;
 pub mod ultragcn;
 
-pub use artifact::{ArtifactError, ModelArtifact};
+pub use artifact::{ArtifactError, ModelArtifact, Precision};
 pub use backbone::{build, Backbone, BackboneConfig, EvalScore, Hyper, TrainScore};
 pub use grad::GradBuffer;
+pub use ivf::{IvfIndex, ProbeScratch};
 pub use lightgcl::LightGcl;
 pub use lightgcn::LightGcn;
 pub use lrgccf::LrGccf;
 pub use mf::Mf;
 pub use ngcf::Ngcf;
+pub use quant::QuantizedTable;
 pub use sgl::Sgl;
 pub use shard::ShardGrad;
 pub use simgcl::SimGcl;

@@ -18,15 +18,25 @@
 //! }
 //! ```
 //!
+//! Artifacts carrying an IVF index (built with
+//! [`ModelArtifact::build_ivf`] or loaded from a format-v2 file) are
+//! served **sub-linearly**: the recommender scores the index's centroids,
+//! gathers the `nprobe` most promising inverted lists, and rescores only
+//! that shortlist with the exact kernel — seen-item filtering and
+//! tie-breaking unchanged, and `nprobe = nlist` bit-identical to the
+//! exact path. Plain artifacts keep the exact full-scan. The mode is
+//! selected automatically and can be overridden per recommender
+//! ([`Recommender::set_nprobe`] / [`Recommender::set_exact`]).
+//!
 //! Steady-state serving is allocation-free: the catalogue score buffer,
-//! the bounded top-k heap, and the id scratch all live in the
-//! `Recommender` and are reused across calls (the convenience methods
-//! that *return* `Vec`s allocate only their results; the `_into` variants
-//! don't allocate at all once warm).
+//! the bounded top-k heap, the probe scratch, and the id/candidate
+//! buffers all live in the `Recommender` and are reused across calls
+//! (the convenience methods that *return* `Vec`s allocate only their
+//! results; the `_into` variants don't allocate at all once warm).
 
 #![deny(missing_docs)]
 
 pub mod recommender;
 
-pub use bsl_models::{ArtifactError, EvalScore, ModelArtifact};
-pub use recommender::{Rec, Recommender};
+pub use bsl_models::{ArtifactError, EvalScore, ModelArtifact, Precision};
+pub use recommender::{Rec, Recommender, Retrieval};

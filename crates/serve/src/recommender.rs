@@ -1,14 +1,18 @@
-//! The [`Recommender`]: batched top-k retrieval with seen-item filtering.
+//! The [`Recommender`]: batched top-k retrieval with seen-item filtering,
+//! exact or IVF-accelerated.
 
 use bsl_data::Dataset;
-use bsl_linalg::topk::TopK;
-use bsl_models::ModelArtifact;
+use bsl_linalg::topk::{select_scored_into, TopK};
+use bsl_models::{ivf::ProbeScratch, ModelArtifact};
 
 /// One recommendation: an item id and its retrieval score.
 ///
 /// Scores come from the artifact's prepared tables (cosine similarity for
 /// cosine backbones, inner product otherwise; CML artifacts serve the
-/// rank-equivalent augmented inner product).
+/// rank-equivalent augmented inner product). The IVF path rescores its
+/// shortlist with the same exact kernel, so a served score is always the
+/// true prepared-table score of that item — approximation only affects
+/// *which* items make the shortlist.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Rec {
     /// The recommended item id.
@@ -17,15 +21,41 @@ pub struct Rec {
     pub score: f32,
 }
 
+/// How a [`Recommender`] walks the catalogue per query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Retrieval {
+    /// Score every item with one blocked matvec (the reference path).
+    Exact,
+    /// Probe the artifact's IVF index: score `nlist` centroids, gather the
+    /// `nprobe` best lists' members, rescore only those exactly.
+    ///
+    /// `nprobe ≥ nlist` degenerates to [`Retrieval::Exact`] — probing
+    /// every list *is* a full scan, and routing it through the exact
+    /// blocked kernel makes that setting bit-identical to exact serving
+    /// (same accumulation order, same tie-breaks).
+    Ivf {
+        /// Number of inverted lists probed per query.
+        nprobe: usize,
+    },
+}
+
 /// Serves top-k retrieval queries over a frozen [`ModelArtifact`].
 ///
 /// Construction is the only place that allocates proportionally to the
 /// catalogue: an optional CSR copy of the training interactions (the
 /// "seen" mask) and the reusable per-call scratch. After the first query
-/// every call reuses the same buffers — the hot path is one blocked
-/// matvec over the item table plus a bounded-heap selection.
+/// every call reuses the same buffers — the exact hot path is one blocked
+/// matvec over the item table plus a bounded-heap selection; the IVF hot
+/// path is a centroid matvec, a list gather, and an exact rescore of the
+/// shortlist (same kernels, ~`nprobe/nlist` of the work).
+///
+/// The retrieval mode is picked automatically: artifacts carrying an
+/// [`IvfIndex`](bsl_models::IvfIndex) serve through it at its default
+/// `nprobe`, plain artifacts serve exactly. Override with
+/// [`set_nprobe`](Self::set_nprobe) / [`set_exact`](Self::set_exact).
 pub struct Recommender {
     artifact: ModelArtifact,
+    retrieval: Retrieval,
     /// CSR mask of already-seen items: `seen_items[seen_indptr[u] ..
     /// seen_indptr[u + 1]]` are the (sorted) item ids to exclude for `u`.
     /// All-zero indptr = no filtering. `usize` offsets, matching
@@ -33,23 +63,39 @@ pub struct Recommender {
     seen_indptr: Vec<usize>,
     seen_items: Vec<u32>,
     // Per-call scratch, reused across queries.
+    qbuf: Vec<f32>,
     scores: Vec<f32>,
     topk: TopK,
     ids: Vec<u32>,
+    probe: ProbeScratch,
+    candidates: Vec<u32>,
+    cand_scores: Vec<f32>,
+    pairs: Vec<(u32, f32)>,
 }
 
 impl Recommender {
     /// A recommender with **no** seen-item filtering (every catalogue item
-    /// is eligible).
+    /// is eligible). Serves through the artifact's IVF index when one is
+    /// attached, exactly otherwise.
     pub fn new(artifact: ModelArtifact) -> Self {
         let n = artifact.n_users();
+        let retrieval = match artifact.index() {
+            Some(ix) => Retrieval::Ivf { nprobe: ix.default_nprobe() },
+            None => Retrieval::Exact,
+        };
         Self {
             artifact,
+            retrieval,
             seen_indptr: vec![0; n + 1],
             seen_items: Vec::new(),
+            qbuf: Vec::new(),
             scores: Vec::new(),
             topk: TopK::new(),
             ids: Vec::new(),
+            probe: ProbeScratch::default(),
+            candidates: Vec::new(),
+            cand_scores: Vec::new(),
+            pairs: Vec::new(),
         }
     }
 
@@ -81,6 +127,26 @@ impl Recommender {
         &self.artifact
     }
 
+    /// The active retrieval mode.
+    pub fn retrieval(&self) -> Retrieval {
+        self.retrieval
+    }
+
+    /// Switches to IVF retrieval probing `nprobe` lists per query
+    /// (clamped to at least 1; values ≥ `nlist` serve exactly).
+    ///
+    /// # Panics
+    /// Panics if the artifact carries no IVF index.
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        assert!(self.artifact.index().is_some(), "set_nprobe: artifact has no IVF index");
+        self.retrieval = Retrieval::Ivf { nprobe: nprobe.max(1) };
+    }
+
+    /// Switches to exact full-catalogue scoring (index, if any, unused).
+    pub fn set_exact(&mut self) {
+        self.retrieval = Retrieval::Exact;
+    }
+
     /// The (sorted) item ids filtered out for `user`.
     ///
     /// # Panics
@@ -96,8 +162,26 @@ impl Recommender {
     /// # Panics
     /// Panics if `user` is out of range.
     pub fn recommend_into(&mut self, user: u32, k: usize, out: &mut Vec<Rec>) {
+        let shortlist_nprobe = match self.retrieval {
+            // nprobe ≥ nlist probes everything: take the exact path, which
+            // is both faster (no gather) and bit-identical to exact serving.
+            Retrieval::Ivf { nprobe } => {
+                let nlist = self.artifact.index().expect("IVF retrieval requires an index").nlist();
+                (nprobe < nlist).then_some(nprobe)
+            }
+            Retrieval::Exact => None,
+        };
+        match shortlist_nprobe {
+            Some(nprobe) => self.recommend_ivf_into(user, k, nprobe, out),
+            None => self.recommend_exact_into(user, k, out),
+        }
+    }
+
+    /// The exact path: one blocked matvec over the whole item table.
+    fn recommend_exact_into(&mut self, user: u32, k: usize, out: &mut Vec<Rec>) {
         let u = user as usize;
-        self.artifact.score_catalogue_into(user, &mut self.scores);
+        self.artifact.query_into(user, &mut self.qbuf);
+        self.artifact.score_catalogue_query_into(&self.qbuf, &mut self.scores);
         let seen = &self.seen_items[self.seen_indptr[u]..self.seen_indptr[u + 1]];
         self.topk.select_masked_into(
             &self.scores,
@@ -107,6 +191,33 @@ impl Recommender {
         );
         out.clear();
         out.extend(self.ids.iter().map(|&i| Rec { item: i, score: self.scores[i as usize] }));
+    }
+
+    /// The IVF path: probe `nprobe` lists, rescore the shortlist exactly.
+    ///
+    /// Selection runs [`select_scored_into`], whose tie-break is on the
+    /// item *id* value — scan-order independent, so the gathered candidate
+    /// lists need no sort and IVF orders equal-scored items exactly like
+    /// the exact path does whenever both shortlist them. The seen mask is
+    /// a binary search, only paid for candidates that could enter the
+    /// top-k.
+    fn recommend_ivf_into(&mut self, user: u32, k: usize, nprobe: usize, out: &mut Vec<Rec>) {
+        let u = user as usize;
+        self.artifact.query_into(user, &mut self.qbuf);
+        let index = self.artifact.index().expect("IVF retrieval requires an index");
+        index.probe_into(&self.qbuf, nprobe, &mut self.probe, &mut self.candidates);
+        self.artifact.score_items_query_into(&self.qbuf, &self.candidates, &mut self.cand_scores);
+        let seen = &self.seen_items[self.seen_indptr[u]..self.seen_indptr[u + 1]];
+        let candidates = &self.candidates;
+        select_scored_into(
+            &self.cand_scores,
+            candidates,
+            k,
+            |p| seen.binary_search(&candidates[p]).is_ok(),
+            &mut self.pairs,
+        );
+        out.clear();
+        out.extend(self.pairs.iter().map(|&(item, score)| Rec { item, score }));
     }
 
     /// Top-`k` unseen items for `user`, best first.
@@ -152,12 +263,22 @@ mod tests {
     use super::*;
     use bsl_linalg::Matrix;
     use bsl_models::EvalScore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     /// 2 users × 4 items, d = 2, scores = dot with one-hot-ish rows.
     fn art() -> ModelArtifact {
         let users = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
         let items = Matrix::from_vec(4, 2, vec![0.9, 0.0, 0.5, 0.1, 0.1, 0.8, 0.3, 0.3]);
         ModelArtifact::from_embeddings("MF", &users, &items, EvalScore::Dot)
+    }
+
+    /// A bigger random artifact for IVF-vs-exact comparisons.
+    fn big_art() -> ModelArtifact {
+        let mut rng = StdRng::seed_from_u64(77);
+        let users = Matrix::gaussian(30, 8, 1.0, &mut rng);
+        let items = Matrix::gaussian(300, 8, 1.0, &mut rng);
+        ModelArtifact::from_embeddings("MF", &users, &items, EvalScore::Cosine)
     }
 
     #[test]
@@ -215,6 +336,81 @@ mod tests {
             let again = rec.recommend(0, 3);
             assert_eq!(again, first);
         }
+    }
+
+    #[test]
+    fn retrieval_mode_follows_the_artifact() {
+        assert_eq!(Recommender::new(art()).retrieval(), Retrieval::Exact);
+        let mut indexed = big_art();
+        indexed.build_default_ivf();
+        let nprobe = indexed.index().unwrap().default_nprobe();
+        assert_eq!(Recommender::new(indexed).retrieval(), Retrieval::Ivf { nprobe });
+    }
+
+    #[test]
+    fn nprobe_equal_nlist_is_bit_identical_to_exact() {
+        let mut indexed = big_art();
+        indexed.build_default_ivf();
+        let nlist = indexed.index().unwrap().nlist();
+        let mut exact = Recommender::new(big_art());
+        let mut ivf = Recommender::new(indexed);
+        ivf.set_nprobe(nlist);
+        for u in 0..30 {
+            assert_eq!(ivf.recommend(u, 10), exact.recommend(u, 10), "user {u}");
+        }
+    }
+
+    #[test]
+    fn ivf_rescores_its_shortlist_exactly() {
+        let mut indexed = big_art();
+        indexed.build_default_ivf();
+        let mut exact = Recommender::new(big_art());
+        let mut ivf = Recommender::new(indexed);
+        for u in 0..30u32 {
+            let truth = exact.recommend(u, 10);
+            for r in ivf.recommend(u, 10) {
+                // Every served score is the true prepared-table score.
+                let s = exact.score_items(u, &[r.item])[0];
+                assert!((r.score - s).abs() < 1e-6, "user {u} item {}", r.item);
+                // And every IVF pick scores no better than the true best.
+                assert!(r.score <= truth[0].score + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ivf_respects_the_seen_mask() {
+        let mut indexed = big_art();
+        indexed.build_ivf(4);
+        let pairs: Vec<(u32, u32)> = (0..40).map(|i| (i % 30, i * 7 % 300)).collect();
+        let ds = Dataset::from_pairs("seen", 30, 300, &pairs, &[]);
+        let mut rec = Recommender::with_seen(indexed, &ds);
+        rec.set_nprobe(2);
+        for u in 0..30u32 {
+            let seen = rec.seen(u).to_vec();
+            for r in rec.recommend(u, 20) {
+                assert!(seen.binary_search(&r.item).is_err(), "user {u} served seen {}", r.item);
+            }
+        }
+    }
+
+    #[test]
+    fn set_exact_overrides_the_index() {
+        let mut indexed = big_art();
+        indexed.build_default_ivf();
+        let mut rec = Recommender::new(indexed);
+        rec.set_exact();
+        assert_eq!(rec.retrieval(), Retrieval::Exact);
+        let mut exact = Recommender::new(big_art());
+        for u in 0..10 {
+            assert_eq!(rec.recommend(u, 5), exact.recommend(u, 5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "artifact has no IVF index")]
+    fn set_nprobe_requires_an_index() {
+        Recommender::new(art()).set_nprobe(2);
     }
 
     #[test]
