@@ -50,10 +50,23 @@ fn bench_serving(c: &mut Criterion) {
     // Warm the scratch so the measurement is the steady state.
     let _ = rec.recommend_batch(&batch, 10);
 
+    // Since PR 7 the batch call streams each item-table tile past every
+    // query in the batch (one catalogue pass per batch)...
     c.bench_function("recommend_b64_k10_yelp_d64", |b| {
         b.iter(|| rec.recommend_batch(black_box(&batch), 10))
     });
+    // ...while this serial loop answers the same 64 requests one at a
+    // time (one catalogue pass per request). The gap between the two
+    // lines is the micro-batching amortization the ServeEngine banks on.
     let mut out = Vec::with_capacity(10);
+    c.bench_function("recommend_b64_serial_k10_yelp_d64", |b| {
+        b.iter(|| {
+            for &u in black_box(&batch) {
+                rec.recommend_into(u, 10, &mut out);
+                black_box(&out);
+            }
+        })
+    });
     c.bench_function("recommend_single_k10_yelp_d64", |b| {
         b.iter(|| {
             rec.recommend_into(black_box(batch[0]), 10, &mut out);

@@ -19,6 +19,12 @@
 //! the format-v2 production configuration (int8-quantized item table +
 //! IVF index); `--nprobe N` makes `--serve` probe `N` inverted lists per
 //! query instead of the index's default (`N ≥ nlist` serves exactly).
+//!
+//! The online counterparts: `--serve-tcp <path>` serves the artifact over
+//! the framed TCP protocol (micro-batched `ServeEngine` behind a
+//! `TcpFrontend`) until stopped; `--swap <path> --addr …` hot-deploys a
+//! new artifact into the running server with zero downtime; `--stop
+//! --addr …` shuts it down remotely.
 
 use bsl_bench::experiments::*;
 use bsl_bench::Scale;
@@ -38,6 +44,13 @@ fn usage() -> ! {
     eprintln!("       repro --serve <artifact-path> [--nprobe N]");
     eprintln!("           load an artifact, print top-10 per user; --nprobe N probes N");
     eprintln!("           inverted lists per query (needs an --ann artifact; N >= nlist = exact)");
+    eprintln!("       repro --serve-tcp <artifact-path> [--addr HOST:PORT]");
+    eprintln!("           serve the artifact over the framed TCP protocol until stopped");
+    eprintln!("       repro --swap <artifact-path> --addr HOST:PORT");
+    eprintln!("           hot-deploy a new artifact to a running --serve-tcp server");
+    eprintln!("       repro --stop --addr HOST:PORT");
+    eprintln!("           shut a running --serve-tcp server down remotely");
+    eprintln!("       (--addr defaults to {})", serve_tcp::DEFAULT_ADDR);
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
         "(fig2 is the paper's conceptual diagram — nothing to run; fig11 is covered by fig10)"
@@ -78,6 +91,10 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut save_path: Option<String> = None;
     let mut serve_path: Option<String> = None;
+    let mut serve_tcp_path: Option<String> = None;
+    let mut swap_path: Option<String> = None;
+    let mut stop = false;
+    let mut addr = serve_tcp::DEFAULT_ADDR.to_string();
     let mut ann = false;
     let mut nprobe: Option<usize> = None;
     let mut it = args.into_iter();
@@ -85,6 +102,10 @@ fn main() {
         match a.as_str() {
             "--save" => save_path = Some(it.next().unwrap_or_else(|| usage())),
             "--serve" => serve_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--serve-tcp" => serve_tcp_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--swap" => swap_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--stop" => stop = true,
+            "--addr" => addr = it.next().unwrap_or_else(|| usage()),
             "--ann" => ann = true,
             "--nprobe" => {
                 let v = it.next().unwrap_or_else(|| usage());
@@ -126,8 +147,23 @@ fn main() {
     if let Some(path) = &serve_path {
         serve_demo::serve(path, nprobe);
     }
+    if let Some(path) = &swap_path {
+        serve_tcp::swap(path, &addr);
+    }
+    if stop {
+        serve_tcp::stop(&addr);
+    }
+    // --serve-tcp blocks until stopped, so it runs after the one-shot ops.
+    if let Some(path) = &serve_tcp_path {
+        serve_tcp::serve_tcp(path, &addr);
+    }
     if names.is_empty() {
-        if save_path.is_some() || serve_path.is_some() {
+        if save_path.is_some()
+            || serve_path.is_some()
+            || serve_tcp_path.is_some()
+            || swap_path.is_some()
+            || stop
+        {
             return;
         }
         usage();

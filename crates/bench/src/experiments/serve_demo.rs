@@ -10,7 +10,7 @@
 use super::common::{base_cfg, Scale};
 use bsl_core::prelude::*;
 use bsl_data::synth::{generate, SynthConfig};
-use bsl_serve::{Recommender, Retrieval};
+use bsl_serve::{RecommendRequest, Retrieval, ServeOptions, ServeScratch, ServeState};
 use std::sync::Arc;
 
 /// The dataset both halves of the round trip agree on.
@@ -70,24 +70,32 @@ pub fn serve(path: &str, nprobe: Option<usize>) {
         art.precision()
     );
     let ds = demo_dataset();
-    let mut rec = Recommender::with_seen(art, &ds);
-    if let Some(np) = nprobe {
-        assert!(
-            rec.artifact().index().is_some(),
-            "--nprobe needs an IVF-indexed artifact (save it with --ann)"
-        );
-        rec.set_nprobe(np);
-    }
-    match rec.retrieval() {
+    let state = ServeState::with_seen(art, &ds);
+    let opts = match nprobe {
+        Some(np) => {
+            assert!(
+                state.artifact().index().is_some(),
+                "--nprobe needs an IVF-indexed artifact (save it with --ann)"
+            );
+            ServeOptions::with_nprobe(np)
+        }
+        None => ServeOptions::default(),
+    };
+    match state.retrieval(&opts) {
         Retrieval::Exact => println!("retrieval: exact full scan"),
         Retrieval::Ivf { nprobe } => {
-            let nlist = rec.artifact().index().expect("IVF mode implies an index").nlist();
+            let nlist = state.artifact().index().expect("IVF mode implies an index").nlist();
             println!("retrieval: IVF, probing {nprobe} of {nlist} lists");
         }
     }
     let users: Vec<u32> = ds.evaluable_users().into_iter().take(4).collect();
     let k = 10;
-    for (u, recs) in users.iter().zip(rec.recommend_batch(&users, k)) {
+    let reqs: Vec<RecommendRequest> =
+        users.iter().map(|&user| RecommendRequest { user, k, opts }).collect();
+    let mut scratch = ServeScratch::new();
+    let mut batched = Vec::new();
+    state.recommend_batch_into(&reqs, &mut scratch, &mut batched);
+    for (u, recs) in users.iter().zip(&batched) {
         let test = ds.test_items(*u as usize);
         println!(
             "\nuser {u} (train {} items, test {} items) — top {k}:",

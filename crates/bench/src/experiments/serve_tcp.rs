@@ -1,0 +1,90 @@
+//! `repro --serve-tcp / --swap / --stop`: the online serving engine on a
+//! real socket — the operational counterpart of `--save`/`--serve`.
+//!
+//! `--serve-tcp <artifact>` loads the artifact, wraps it in a
+//! [`ServeEngine`] behind a [`TcpFrontend`], and blocks until a shutdown
+//! frame arrives. `--swap <artifact> --addr …` tells a *running* server to
+//! hot-deploy a new artifact generation (in-flight requests finish on the
+//! old one); `--stop --addr …` shuts the server down remotely. Together
+//! they are the zero-downtime deploy walkthrough from README.md.
+
+use bsl_data::synth::{generate, SynthConfig};
+use bsl_serve::{BatchPolicy, ModelArtifact, ServeClient, ServeEngine, ServeState, TcpFrontend};
+use std::time::Duration;
+
+/// The default address the walkthrough commands agree on.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Loads `path` and serves it over TCP at `addr` until a shutdown frame
+/// arrives (send one with `repro --stop`). The demo dataset's seen-mask
+/// is attached when the artifact's shape matches it (always true for
+/// `repro --save` artifacts), so served recommendations filter training
+/// interactions exactly like `--serve` does.
+pub fn serve_tcp(path: &str, addr: &str) {
+    let art = ModelArtifact::load(path).unwrap_or_else(|e| panic!("loading {path}: {e}"));
+    println!(
+        "# TCP serving — {path}: backbone {} ({:?}), {} users × {} items, dim {}, {:?} items",
+        art.backbone(),
+        art.similarity(),
+        art.n_users(),
+        art.n_items(),
+        art.dim(),
+        art.precision()
+    );
+    let ds = generate(&SynthConfig::yelp_like(7));
+    let state = if art.n_users() == ds.n_users && art.n_items() == ds.n_items {
+        println!("seen-mask: demo dataset training interactions");
+        ServeState::with_seen(art, &ds)
+    } else {
+        println!("seen-mask: none (artifact shape does not match the demo dataset)");
+        ServeState::new(art)
+    };
+    let engine = ServeEngine::single_tenant(state, BatchPolicy::default());
+    let frontend = TcpFrontend::start(std::sync::Arc::clone(&engine), addr)
+        .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+    println!(
+        "serving tenant \"default\" on {} — deploy with `repro --swap <artifact> --addr {}`, \
+         stop with `repro --stop --addr {}`",
+        frontend.local_addr(),
+        frontend.local_addr(),
+        frontend.local_addr()
+    );
+    frontend.wait_for_shutdown(Duration::from_millis(100));
+    println!("shutdown frame received; draining");
+    drop(frontend); // joins the accept loop and every connection
+    println!("{}", engine.stats());
+    engine.shutdown();
+}
+
+fn connect(addr: &str) -> ServeClient {
+    ServeClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("connecting to {addr}: {e} (is `repro --serve-tcp` running?)");
+        std::process::exit(1);
+    })
+}
+
+/// Hot-swaps the running server at `addr` to the artifact at `path`.
+pub fn swap(path: &str, addr: &str) {
+    let mut client = connect(addr);
+    match client.swap_artifact("default", path) {
+        Ok(version) => println!("swapped \"default\" to {path}: now serving version {version}"),
+        Err(e) => {
+            eprintln!("swap failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Ok(stats) = client.stats() {
+        print!("{stats}");
+    }
+}
+
+/// Shuts down the running server at `addr`.
+pub fn stop(addr: &str) {
+    match connect(addr).shutdown_server() {
+        Ok(()) => println!("server at {addr} acknowledged shutdown"),
+        Err(e) => {
+            eprintln!("shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

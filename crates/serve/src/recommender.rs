@@ -1,9 +1,18 @@
-//! The [`Recommender`]: batched top-k retrieval with seen-item filtering,
-//! exact or IVF-accelerated.
+//! The [`Recommender`]: the PR 5/6 library-style facade, now a thin
+//! wrapper bundling one [`ServeState`] with one [`ServeScratch`].
+//!
+//! New code (and anything concurrent) should use [`ServeState`] directly
+//! — it is `&self`-scoring and shareable across threads — or go through
+//! the [`ServeEngine`](crate::ServeEngine). This wrapper keeps the
+//! original single-threaded API compiling unchanged: the mutable-config
+//! methods [`set_nprobe`](Recommender::set_nprobe) /
+//! [`set_exact`](Recommender::set_exact) are deprecated shims that
+//! translate to the sticky default [`ServeOptions`] applied to every
+//! call.
 
+use crate::state::{RecommendRequest, ServeOptions, ServeScratch, ServeState};
 use bsl_data::Dataset;
-use bsl_linalg::topk::{select_scored_into, TopK};
-use bsl_models::{ivf::ProbeScratch, ModelArtifact};
+use bsl_models::ModelArtifact;
 
 /// One recommendation: an item id and its retrieval score.
 ///
@@ -21,7 +30,7 @@ pub struct Rec {
     pub score: f32,
 }
 
-/// How a [`Recommender`] walks the catalogue per query.
+/// How a query walks the catalogue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Retrieval {
     /// Score every item with one blocked matvec (the reference path).
@@ -39,38 +48,25 @@ pub enum Retrieval {
     },
 }
 
-/// Serves top-k retrieval queries over a frozen [`ModelArtifact`].
+/// Serves top-k retrieval queries over a frozen [`ModelArtifact`] from a
+/// single thread: a [`ServeState`] plus its reusable [`ServeScratch`].
 ///
-/// Construction is the only place that allocates proportionally to the
-/// catalogue: an optional CSR copy of the training interactions (the
-/// "seen" mask) and the reusable per-call scratch. After the first query
-/// every call reuses the same buffers — the exact hot path is one blocked
-/// matvec over the item table plus a bounded-heap selection; the IVF hot
-/// path is a centroid matvec, a list gather, and an exact rescore of the
-/// shortlist (same kernels, ~`nprobe/nlist` of the work).
+/// After the first query every call reuses the same buffers — the exact
+/// hot path is one blocked matvec over the item table plus a
+/// bounded-heap selection; the IVF hot path is a centroid matvec, a list
+/// gather, and an exact rescore of the shortlist.
 ///
-/// The retrieval mode is picked automatically: artifacts carrying an
-/// [`IvfIndex`](bsl_models::IvfIndex) serve through it at its default
-/// `nprobe`, plain artifacts serve exactly. Override with
-/// [`set_nprobe`](Self::set_nprobe) / [`set_exact`](Self::set_exact).
+/// The default retrieval mode is picked automatically: artifacts carrying
+/// an [`IvfIndex`](bsl_models::IvfIndex) serve through it at its default
+/// `nprobe`, plain artifacts serve exactly. Prefer passing per-call
+/// [`ServeOptions`] via [`ServeState`]; the deprecated
+/// [`set_nprobe`](Self::set_nprobe) / [`set_exact`](Self::set_exact)
+/// shims set this wrapper's sticky default instead.
 pub struct Recommender {
-    artifact: ModelArtifact,
-    retrieval: Retrieval,
-    /// CSR mask of already-seen items: `seen_items[seen_indptr[u] ..
-    /// seen_indptr[u + 1]]` are the (sorted) item ids to exclude for `u`.
-    /// All-zero indptr = no filtering. `usize` offsets, matching
-    /// `bsl_sparse::Csr` — catalogue-scale nnz must not wrap.
-    seen_indptr: Vec<usize>,
-    seen_items: Vec<u32>,
-    // Per-call scratch, reused across queries.
-    qbuf: Vec<f32>,
-    scores: Vec<f32>,
-    topk: TopK,
-    ids: Vec<u32>,
-    probe: ProbeScratch,
-    candidates: Vec<u32>,
-    cand_scores: Vec<f32>,
-    pairs: Vec<(u32, f32)>,
+    state: ServeState,
+    scratch: ServeScratch,
+    /// The sticky options every call of this wrapper uses.
+    opts: ServeOptions,
 }
 
 impl Recommender {
@@ -78,25 +74,7 @@ impl Recommender {
     /// is eligible). Serves through the artifact's IVF index when one is
     /// attached, exactly otherwise.
     pub fn new(artifact: ModelArtifact) -> Self {
-        let n = artifact.n_users();
-        let retrieval = match artifact.index() {
-            Some(ix) => Retrieval::Ivf { nprobe: ix.default_nprobe() },
-            None => Retrieval::Exact,
-        };
-        Self {
-            artifact,
-            retrieval,
-            seen_indptr: vec![0; n + 1],
-            seen_items: Vec::new(),
-            qbuf: Vec::new(),
-            scores: Vec::new(),
-            topk: TopK::new(),
-            ids: Vec::new(),
-            probe: ProbeScratch::default(),
-            candidates: Vec::new(),
-            cand_scores: Vec::new(),
-            pairs: Vec::new(),
-        }
+        Self::from_state(ServeState::new(artifact))
     }
 
     /// A recommender that filters each user's *training* interactions out
@@ -107,44 +85,60 @@ impl Recommender {
     /// # Panics
     /// Panics if `ds`'s shape disagrees with the artifact.
     pub fn with_seen(artifact: ModelArtifact, ds: &Dataset) -> Self {
-        assert_eq!(artifact.n_users(), ds.n_users, "artifact user rows != dataset users");
-        assert_eq!(artifact.n_items(), ds.n_items, "artifact item rows != dataset items");
-        let mut indptr = Vec::with_capacity(ds.n_users + 1);
-        let mut items = Vec::with_capacity(ds.train.nnz());
-        indptr.push(0usize);
-        for u in 0..ds.n_users {
-            items.extend_from_slice(ds.train_items(u));
-            indptr.push(items.len());
-        }
-        let mut rec = Self::new(artifact);
-        rec.seen_indptr = indptr;
-        rec.seen_items = items;
-        rec
+        Self::from_state(ServeState::with_seen(artifact, ds))
+    }
+
+    /// Wraps an already-built serving state.
+    pub fn from_state(state: ServeState) -> Self {
+        Self { state, scratch: ServeScratch::new(), opts: ServeOptions::default() }
+    }
+
+    /// The shared-state core this wrapper drives (hand an
+    /// `Arc<ServeState>` to threads instead of cloning recommenders).
+    pub fn state(&self) -> &ServeState {
+        &self.state
+    }
+
+    /// Consumes the wrapper, returning its state (the scratch is
+    /// discarded — it is cheap to rebuild).
+    pub fn into_state(self) -> ServeState {
+        self.state
     }
 
     /// The artifact being served.
     pub fn artifact(&self) -> &ModelArtifact {
-        &self.artifact
+        self.state.artifact()
     }
 
-    /// The active retrieval mode.
+    /// The retrieval mode the sticky default options resolve to.
     pub fn retrieval(&self) -> Retrieval {
-        self.retrieval
+        self.state.retrieval(&self.opts)
     }
 
-    /// Switches to IVF retrieval probing `nprobe` lists per query
-    /// (clamped to at least 1; values ≥ `nlist` serve exactly).
+    /// Switches every subsequent call to IVF retrieval probing `nprobe`
+    /// lists (clamped to at least 1; values ≥ `nlist` serve exactly).
     ///
     /// # Panics
     /// Panics if the artifact carries no IVF index.
+    #[deprecated(
+        since = "0.1.0",
+        note = "pass per-request options instead: `ServeOptions::with_nprobe(n)` on a \
+                `RecommendRequest` against a shared `ServeState`"
+    )]
     pub fn set_nprobe(&mut self, nprobe: usize) {
-        assert!(self.artifact.index().is_some(), "set_nprobe: artifact has no IVF index");
-        self.retrieval = Retrieval::Ivf { nprobe: nprobe.max(1) };
+        assert!(self.state.artifact().index().is_some(), "set_nprobe: artifact has no IVF index");
+        self.opts = ServeOptions { nprobe: Some(nprobe.max(1)), exact: false, ..self.opts };
     }
 
-    /// Switches to exact full-catalogue scoring (index, if any, unused).
+    /// Switches every subsequent call to exact full-catalogue scoring
+    /// (index, if any, unused).
+    #[deprecated(
+        since = "0.1.0",
+        note = "pass per-request options instead: `ServeOptions::exact()` on a \
+                `RecommendRequest` against a shared `ServeState`"
+    )]
     pub fn set_exact(&mut self) {
-        self.retrieval = Retrieval::Exact;
+        self.opts = ServeOptions { exact: true, ..self.opts };
     }
 
     /// The (sorted) item ids filtered out for `user`.
@@ -152,8 +146,7 @@ impl Recommender {
     /// # Panics
     /// Panics if `user` is out of range.
     pub fn seen(&self, user: u32) -> &[u32] {
-        let u = user as usize;
-        &self.seen_items[self.seen_indptr[u]..self.seen_indptr[u + 1]]
+        self.state.seen(user)
     }
 
     /// Top-`k` unseen items for `user`, best first, written into `out`
@@ -162,62 +155,8 @@ impl Recommender {
     /// # Panics
     /// Panics if `user` is out of range.
     pub fn recommend_into(&mut self, user: u32, k: usize, out: &mut Vec<Rec>) {
-        let shortlist_nprobe = match self.retrieval {
-            // nprobe ≥ nlist probes everything: take the exact path, which
-            // is both faster (no gather) and bit-identical to exact serving.
-            Retrieval::Ivf { nprobe } => {
-                let nlist = self.artifact.index().expect("IVF retrieval requires an index").nlist();
-                (nprobe < nlist).then_some(nprobe)
-            }
-            Retrieval::Exact => None,
-        };
-        match shortlist_nprobe {
-            Some(nprobe) => self.recommend_ivf_into(user, k, nprobe, out),
-            None => self.recommend_exact_into(user, k, out),
-        }
-    }
-
-    /// The exact path: one blocked matvec over the whole item table.
-    fn recommend_exact_into(&mut self, user: u32, k: usize, out: &mut Vec<Rec>) {
-        let u = user as usize;
-        self.artifact.query_into(user, &mut self.qbuf);
-        self.artifact.score_catalogue_query_into(&self.qbuf, &mut self.scores);
-        let seen = &self.seen_items[self.seen_indptr[u]..self.seen_indptr[u + 1]];
-        self.topk.select_masked_into(
-            &self.scores,
-            k,
-            |i| seen.binary_search(&(i as u32)).is_ok(),
-            &mut self.ids,
-        );
-        out.clear();
-        out.extend(self.ids.iter().map(|&i| Rec { item: i, score: self.scores[i as usize] }));
-    }
-
-    /// The IVF path: probe `nprobe` lists, rescore the shortlist exactly.
-    ///
-    /// Selection runs [`select_scored_into`], whose tie-break is on the
-    /// item *id* value — scan-order independent, so the gathered candidate
-    /// lists need no sort and IVF orders equal-scored items exactly like
-    /// the exact path does whenever both shortlist them. The seen mask is
-    /// a binary search, only paid for candidates that could enter the
-    /// top-k.
-    fn recommend_ivf_into(&mut self, user: u32, k: usize, nprobe: usize, out: &mut Vec<Rec>) {
-        let u = user as usize;
-        self.artifact.query_into(user, &mut self.qbuf);
-        let index = self.artifact.index().expect("IVF retrieval requires an index");
-        index.probe_into(&self.qbuf, nprobe, &mut self.probe, &mut self.candidates);
-        self.artifact.score_items_query_into(&self.qbuf, &self.candidates, &mut self.cand_scores);
-        let seen = &self.seen_items[self.seen_indptr[u]..self.seen_indptr[u + 1]];
-        let candidates = &self.candidates;
-        select_scored_into(
-            &self.cand_scores,
-            candidates,
-            k,
-            |p| seen.binary_search(&candidates[p]).is_ok(),
-            &mut self.pairs,
-        );
-        out.clear();
-        out.extend(self.pairs.iter().map(|&(item, score)| Rec { item, score }));
+        let req = RecommendRequest { user, k, opts: self.opts };
+        self.state.recommend_into(&req, &mut self.scratch, out);
     }
 
     /// Top-`k` unseen items for `user`, best first.
@@ -230,19 +169,33 @@ impl Recommender {
         out
     }
 
+    /// Top-`k` lists for a batch of users, written into `out` (one inner
+    /// list per user, in request order) **reusing `out`'s inner
+    /// allocations** — the steady-state batch path is allocation-free.
+    ///
+    /// Exact-path batches are scored with the tiled multi-query pass of
+    /// [`ServeState::recommend_batch_into`], so coalesced requests share
+    /// each item-table tile while it is cache-resident; results are
+    /// bit-identical to per-user [`recommend_into`](Self::recommend_into)
+    /// calls.
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range.
+    pub fn recommend_batch_into(&mut self, users: &[u32], k: usize, out: &mut Vec<Vec<Rec>>) {
+        let reqs: Vec<RecommendRequest> =
+            users.iter().map(|&user| RecommendRequest { user, k, opts: self.opts }).collect();
+        self.state.recommend_batch_into(&reqs, &mut self.scratch, out);
+    }
+
     /// Top-`k` lists for a batch of users (one inner `Vec` per user, in
-    /// request order). The scoring scratch is shared across the whole
-    /// batch; only the returned lists allocate.
+    /// request order), as freshly allocated lists — prefer
+    /// [`recommend_batch_into`](Self::recommend_batch_into) on hot paths.
     ///
     /// # Panics
     /// Panics if any user id is out of range.
     pub fn recommend_batch(&mut self, users: &[u32], k: usize) -> Vec<Vec<Rec>> {
         let mut out = Vec::with_capacity(users.len());
-        for &u in users {
-            let mut one = Vec::with_capacity(k);
-            self.recommend_into(u, k, &mut one);
-            out.push(one);
-        }
+        self.recommend_batch_into(users, k, &mut out);
         out
     }
 
@@ -253,13 +206,17 @@ impl Recommender {
     /// Panics if `user` or any item id is out of range.
     pub fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
         let mut out = Vec::with_capacity(items.len());
-        self.artifact.score_items_into(user, items, &mut out);
+        self.state
+            .score_items_into(user, items, &mut out)
+            .unwrap_or_else(|e| panic!("score_items: {e}"));
         out
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the compat shims are exactly what's under test
+
     use super::*;
     use bsl_linalg::Matrix;
     use bsl_models::EvalScore;
@@ -318,6 +275,20 @@ mod tests {
         assert_eq!(batch[0], rec.recommend(0, 3));
         assert_eq!(batch[1], rec.recommend(1, 3));
         assert_eq!(batch[2], batch[0], "same user, same answer");
+    }
+
+    #[test]
+    fn batch_into_reuses_buffers_and_matches_batch() {
+        let mut rec = Recommender::new(big_art());
+        let users: Vec<u32> = (0..20).collect();
+        let fresh = rec.recommend_batch(&users, 10);
+        let mut out = Vec::new();
+        rec.recommend_batch_into(&users, 10, &mut out);
+        assert_eq!(out, fresh);
+        let ptrs: Vec<*const Rec> = out.iter().map(|v| v.as_ptr()).collect();
+        rec.recommend_batch_into(&users, 10, &mut out);
+        assert_eq!(out, fresh);
+        assert_eq!(ptrs, out.iter().map(|v| v.as_ptr()).collect::<Vec<_>>(), "buffers reused");
     }
 
     #[test]

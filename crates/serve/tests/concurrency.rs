@@ -1,0 +1,131 @@
+//! Concurrency smoke: one shared, immutable [`ServeState`] hammered from
+//! four threads (each with its own [`ServeScratch`]) must produce
+//! bit-identical results to a serial pass — the whole point of the
+//! `&self` + caller-scratch API split.
+
+use std::sync::Arc;
+
+use bsl_linalg::Matrix;
+use bsl_models::{EvalScore, ModelArtifact};
+use bsl_serve::{
+    BatchPolicy, RecommendRequest, ServeEngine, ServeOptions, ServeScratch, ServeState,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn art(n_users: usize, n_items: usize, d: usize, seed: u64) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = Matrix::gaussian(n_users, d, 1.0, &mut rng);
+    let items = Matrix::gaussian(n_items, d, 1.0, &mut rng);
+    ModelArtifact::from_embeddings("MF", &users, &items, EvalScore::Dot)
+}
+
+fn opts_for(u: u32) -> ServeOptions {
+    match u % 3 {
+        0 => ServeOptions::exact(),
+        1 => ServeOptions::default(),
+        _ => ServeOptions::with_nprobe(3),
+    }
+}
+
+#[test]
+fn four_threads_match_serial_bit_for_bit() {
+    let mut artifact = art(64, 500, 16, 42);
+    artifact.build_ivf(10); // mixed exact + IVF requests
+    let state = Arc::new(ServeState::new(artifact));
+
+    // Serial reference pass.
+    let mut scratch = ServeScratch::new();
+    let reqs: Vec<RecommendRequest> =
+        (0..64u32).map(|u| RecommendRequest { user: u, k: 10, opts: opts_for(u) }).collect();
+    let mut expected = Vec::new();
+    for req in &reqs {
+        let mut out = Vec::new();
+        state.recommend_into(req, &mut scratch, &mut out);
+        expected.push(out);
+    }
+
+    // Four threads, each sweeping every user several times with its own
+    // scratch, all against the same `&ServeState`.
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let state = Arc::clone(&state);
+            let reqs = &reqs;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut scratch = ServeScratch::new();
+                for round in 0..5 {
+                    // Each thread walks the users in a different order so
+                    // the threads are never in lockstep.
+                    for i in 0..reqs.len() {
+                        let j = (i * 7 + t * 13 + round) % reqs.len();
+                        let mut out = Vec::new();
+                        state.recommend_into(&reqs[j], &mut scratch, &mut out);
+                        assert_eq!(
+                            out, expected[j],
+                            "thread {t} round {round} user {} diverged",
+                            reqs[j].user
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_score_items_matches_serial() {
+    let state = Arc::new(ServeState::new(art(20, 300, 8, 7)));
+    let items: Vec<u32> = (0..300u32).step_by(3).collect();
+    let mut expected = vec![0.0f32; items.len()];
+    state.score_items_into(4, &items, &mut expected).unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let state = Arc::clone(&state);
+            let items = &items;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut out = vec![0.0f32; items.len()];
+                for _ in 0..50 {
+                    state.score_items_into(4, items, &mut out).unwrap();
+                    assert_eq!(out, *expected);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn engine_under_concurrent_load_matches_serial() {
+    let state_a = ServeState::new(art(32, 400, 8, 5));
+    let reference = ServeState::new(art(32, 400, 8, 5)); // identical twin
+    let mut scratch = ServeScratch::new();
+    let mut expected = Vec::new();
+    for u in 0..32u32 {
+        let mut out = Vec::new();
+        reference.recommend_into(&RecommendRequest::new(u, 8), &mut scratch, &mut out);
+        expected.push(out);
+    }
+
+    let engine = ServeEngine::single_tenant(state_a, BatchPolicy::default());
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let engine = Arc::clone(&engine);
+            let expected = &expected;
+            s.spawn(move || {
+                for i in 0..64u32 {
+                    let u = (t * 17 + i) % 32;
+                    let resp = engine
+                        .recommend(ServeEngine::DEFAULT_TENANT, RecommendRequest::new(u, 8))
+                        .expect("request served");
+                    assert_eq!(resp.recs, expected[u as usize], "user {u}");
+                }
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 4 * 64);
+    assert_eq!(stats.errors, 0);
+    engine.shutdown();
+}

@@ -1,0 +1,170 @@
+//! Hot-swap torture: artifact generations are swapped in mid-stream while
+//! client threads hammer the engine. Every response must be consistent
+//! with **exactly one** generation (no torn reads), zero requests may be
+//! dropped, and each swapped-out generation must drop as soon as its last
+//! in-flight holder finishes.
+
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use bsl_linalg::Matrix;
+use bsl_models::{EvalScore, ModelArtifact};
+use bsl_serve::{BatchPolicy, RecommendRequest, ServeEngine, ServeScratch, ServeState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_USERS: usize = 48;
+const N_ITEMS: usize = 400;
+const DIM: usize = 16;
+const K: usize = 10;
+const N_VERSIONS: u64 = 12; // initial generation + 11 swaps
+const CLIENTS: usize = 4;
+const REQS_PER_CLIENT: usize = 150;
+
+/// Each generation gets its own embeddings, so two generations agreeing
+/// on a full top-10 list is vanishingly unlikely — matching one
+/// generation's expected output *identifies* the generation.
+fn state_for(version: u64) -> ServeState {
+    let mut rng = StdRng::seed_from_u64(1000 + version);
+    let users = Matrix::gaussian(N_USERS, DIM, 1.0, &mut rng);
+    let items = Matrix::gaussian(N_ITEMS, DIM, 1.0, &mut rng);
+    ServeState::new(ModelArtifact::from_embeddings("MF", &users, &items, EvalScore::Dot))
+}
+
+fn wait_dead(weak: &Weak<ServeState>, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while weak.upgrade().is_some() {
+        assert!(Instant::now() < deadline, "{what} still alive 5s after its last request");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn swaps_under_load_are_atomic_and_leak_free() {
+    // Precompute every generation's expected answers for every user.
+    let mut expected: Vec<Vec<Vec<bsl_serve::Rec>>> = Vec::new();
+    let mut scratch = ServeScratch::new();
+    for v in 1..=N_VERSIONS {
+        let state = state_for(v);
+        let mut per_user = Vec::with_capacity(N_USERS);
+        for u in 0..N_USERS as u32 {
+            let mut out = Vec::new();
+            state.recommend_into(&RecommendRequest::new(u, K), &mut scratch, &mut out);
+            per_user.push(out);
+        }
+        expected.push(per_user);
+    }
+    let expected = Arc::new(expected);
+
+    let engine = ServeEngine::single_tenant(state_for(1), BatchPolicy::default());
+    let slot = engine.registry().get(ServeEngine::DEFAULT_TENANT).unwrap();
+    let done = Arc::new(AtomicUsize::new(0));
+    let total = CLIENTS * REQS_PER_CLIENT;
+
+    std::thread::scope(|s| {
+        for t in 0..CLIENTS {
+            let engine = Arc::clone(&engine);
+            let expected = Arc::clone(&expected);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut last_version = 0u64;
+                for i in 0..REQS_PER_CLIENT {
+                    let u = ((t * 31 + i * 7) % N_USERS) as u32;
+                    let resp = engine
+                        .recommend(ServeEngine::DEFAULT_TENANT, RecommendRequest::new(u, K))
+                        .expect("no request may be dropped across swaps");
+                    // Version sanity: stamped, in range, and (since one
+                    // thread's requests are sequential) non-decreasing.
+                    assert!(
+                        (1..=N_VERSIONS).contains(&resp.version),
+                        "version {} out of range",
+                        resp.version
+                    );
+                    assert!(
+                        resp.version >= last_version,
+                        "thread {t} went back in time: {} after {last_version}",
+                        resp.version
+                    );
+                    last_version = resp.version;
+                    // The torn-read check: the response must equal the
+                    // answer of exactly the generation it claims.
+                    assert_eq!(
+                        resp.recs,
+                        expected[(resp.version - 1) as usize][u as usize],
+                        "thread {t} req {i}: response inconsistent with version {}",
+                        resp.version
+                    );
+                    done.fetch_add(1, SeqCst);
+                }
+            });
+        }
+
+        // The swapper: spread 11 swaps across the request stream, pacing
+        // on completed-request counts so every swap happens mid-load.
+        let mut retired: Vec<(u64, Weak<ServeState>)> = Vec::new();
+        for v in 2..=N_VERSIONS {
+            let threshold = (v - 1) as usize * total / (N_VERSIONS as usize + 1);
+            while done.load(SeqCst) < threshold {
+                std::thread::yield_now();
+            }
+            let (version, old) = slot.swap(state_for(v));
+            assert_eq!(version, v);
+            retired.push((v - 1, Arc::downgrade(&old)));
+            // `old` (the last strong ref we hold) drops here; in-flight
+            // requests may still pin the generation briefly.
+        }
+        for (v, weak) in &retired {
+            wait_dead(weak, &format!("generation {v}"));
+        }
+    });
+
+    let stats = engine.stats();
+    assert_eq!(stats.requests, total as u64, "every request accounted for");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(slot.swaps(), N_VERSIONS - 1);
+    assert_eq!(slot.version(), N_VERSIONS);
+
+    // The final generation is released once the engine lets go of it.
+    let last = Arc::downgrade(&slot.load());
+    drop(slot);
+    engine.shutdown();
+    drop(engine);
+    wait_dead(&last, "final generation");
+}
+
+#[test]
+fn swap_preserves_seen_mask_when_shapes_match() {
+    use bsl_data::{generate, SynthConfig};
+    let ds = generate(&SynthConfig::yelp_like(3));
+    let mut rng = StdRng::seed_from_u64(1);
+    let users = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
+    let items = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
+    let masked = ServeState::with_seen(
+        ModelArtifact::from_embeddings("MF", &users, &items, EvalScore::Dot),
+        &ds,
+    );
+    let seen0: Vec<u32> = masked.seen(0).to_vec();
+    assert!(!seen0.is_empty(), "synthetic user 0 should have training items");
+
+    // Same-shape retrain: mask carries over.
+    let users2 = Matrix::gaussian(ds.n_users, 8, 1.0, &mut rng);
+    let items2 = Matrix::gaussian(ds.n_items, 8, 1.0, &mut rng);
+    let next = ServeState::with_seen_from(
+        ModelArtifact::from_embeddings("MF", &users2, &items2, EvalScore::Dot),
+        &masked,
+    );
+    assert_eq!(next.seen(0), &seen0[..]);
+
+    // Shape change: mask is dropped, not misapplied.
+    let other = ServeState::with_seen_from(
+        ModelArtifact::from_embeddings(
+            "MF",
+            &Matrix::gaussian(4, 8, 1.0, &mut rng),
+            &Matrix::gaussian(9, 8, 1.0, &mut rng),
+            EvalScore::Dot,
+        ),
+        &masked,
+    );
+    assert!(other.seen(0).is_empty());
+}

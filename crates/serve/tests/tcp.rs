@@ -1,0 +1,97 @@
+//! End-to-end TCP front-end test: real sockets, the framed wire protocol,
+//! a hot deploy via `swap_artifact`, and a remote shutdown.
+
+use std::sync::Arc;
+
+use bsl_linalg::Matrix;
+use bsl_models::{EvalScore, ModelArtifact};
+use bsl_serve::{
+    BatchPolicy, ClientError, RecommendRequest, ServeClient, ServeEngine, ServeScratch, ServeState,
+    TcpFrontend,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn art(seed: u64) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = Matrix::gaussian(16, 8, 1.0, &mut rng);
+    let items = Matrix::gaussian(120, 8, 1.0, &mut rng);
+    ModelArtifact::from_embeddings("MF", &users, &items, EvalScore::Dot)
+}
+
+#[test]
+fn tcp_round_trip_swap_and_shutdown() {
+    let tmp = std::env::temp_dir().join(format!("bsl-serve-tcp-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("temp dir");
+    let v2_path = tmp.join("gen2.bsla");
+    art(2).save(&v2_path).expect("saving the deploy artifact");
+
+    let engine = ServeEngine::single_tenant(ServeState::new(art(1)), BatchPolicy::default());
+    let frontend =
+        TcpFrontend::start(Arc::clone(&engine), "127.0.0.1:0").expect("binding ephemeral port");
+    let addr = frontend.local_addr();
+
+    // Expected answers computed locally from identical artifacts.
+    let mut scratch = ServeScratch::new();
+    let expect = |artifact: ModelArtifact, user: u32, scratch: &mut ServeScratch| {
+        let state = ServeState::new(artifact);
+        let mut out = Vec::new();
+        state.recommend_into(&RecommendRequest::new(user, 5), scratch, &mut out);
+        out
+    };
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    // recommend over the wire == recommend in process.
+    let resp = client.recommend("default", RecommendRequest::new(3, 5)).expect("recommend");
+    assert_eq!(resp.version, 1);
+    assert_eq!(resp.user, 3);
+    assert_eq!(resp.recs, expect(art(1), 3, &mut scratch));
+
+    // score_items round trip.
+    let items: Vec<u32> = vec![0, 7, 119];
+    let (version, scores) = client.score_items("default", 3, &items).expect("score_items");
+    assert_eq!(version, 1);
+    let state1 = ServeState::new(art(1));
+    let mut direct = vec![0.0f32; items.len()];
+    state1.score_items_into(3, &items, &mut direct).unwrap();
+    assert_eq!(scores, direct);
+
+    // Server-side errors come back as error frames, not broken streams.
+    let err = client.recommend("nope", RecommendRequest::new(0, 5)).unwrap_err();
+    assert!(matches!(err, ClientError::Server(ref msg) if msg.contains("nope")), "{err}");
+    let err = client.recommend("default", RecommendRequest::new(999, 5)).unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    // ...and the connection still works afterwards.
+    assert_eq!(client.recommend("default", RecommendRequest::new(3, 5)).unwrap().version, 1);
+
+    // stats text mentions the tenant and the request counter.
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("requests"), "stats missing counters: {stats}");
+    assert!(stats.contains("default"), "stats missing tenant: {stats}");
+
+    // Hot deploy: the server loads gen2 from disk and swaps it in.
+    let version = client
+        .swap_artifact("default", v2_path.to_str().expect("utf-8 temp path"))
+        .expect("swap_artifact");
+    assert_eq!(version, 2);
+    let resp = client.recommend("default", RecommendRequest::new(3, 5)).expect("post-swap");
+    assert_eq!(resp.version, 2);
+    assert_eq!(resp.recs, expect(art(2), 3, &mut scratch));
+
+    // A second connection sees the same swapped state.
+    let mut client2 = ServeClient::connect(addr).expect("second connection");
+    assert_eq!(client2.recommend("default", RecommendRequest::new(0, 5)).unwrap().version, 2);
+
+    // Swapping a missing file is an error, not a crash.
+    let err = client.swap_artifact("default", "/nonexistent/nope.bsla").unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+
+    // Remote shutdown: acknowledged, then the listener goes down.
+    client.shutdown_server().expect("shutdown ack");
+    assert!(frontend.shutdown_requested());
+    drop(frontend); // stop(): joins the accept loop and every connection
+    engine.shutdown();
+
+    std::fs::remove_dir_all(&tmp).ok();
+}

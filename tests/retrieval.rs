@@ -4,6 +4,12 @@
 //! `nprobe = nlist`, and int8 quantization must be metric-neutral
 //! (NDCG@10 gap ≤ 1e-3 through `evaluate_artifact`).
 
+// This battery deliberately keeps driving the PR 5/6 `Recommender`
+// surface (`set_exact`/`set_nprobe`, deprecated in PR 7 in favour of
+// per-request `ServeOptions`): it proves the compat shims still serve
+// bit-identically through the redesigned `ServeState` path.
+#![allow(deprecated)]
+
 use bsl_core::prelude::*;
 use bsl_serve::{Recommender, Retrieval};
 use std::sync::Arc;
