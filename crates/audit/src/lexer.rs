@@ -1,0 +1,437 @@
+//! A comment/string/char-literal-aware Rust tokenizer.
+//!
+//! This is *not* a parser: it produces a flat token stream plus enough
+//! side information (comment spans, per-line classification, brace-tracked
+//! item scopes) for the lint passes to reason about justification comments
+//! and enclosing items without pulling in `syn` (the workspace is
+//! dependency-free by policy — see `vendor/README.md`).
+//!
+//! Handled forms: line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`), string literals with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, any hash depth, and their `b`/`br` byte forms),
+//! char literals vs lifetimes (`'a'` vs `'a`), and numeric literals. That
+//! is exactly the set that can hide a `{`, an `unsafe`, or a `//` from a
+//! naive scanner.
+
+/// What a token is, at the granularity the lints need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lints match on text).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String / char / byte literal (contents opaque to the lints).
+    Lit,
+    /// Lifetime (`'a`) — distinct from a char literal.
+    Lifetime,
+    /// One punctuation character (`::` arrives as two adjacent `:`).
+    Punct(char),
+}
+
+/// One token with its source position (1-based line, 0-based column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this the identifier/keyword `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// How a source line reads once comments/strings are resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineKind {
+    /// Nothing but whitespace.
+    Blank,
+    /// Only comment text (line comment or the interior of a block comment).
+    Comment,
+    /// Starts an attribute (`#[…]` / `#![…]`); may still span lines.
+    Attr,
+    /// Anything else.
+    Code,
+}
+
+/// A lexed file: tokens plus the comment/line side tables.
+pub struct FileLex {
+    pub toks: Vec<Tok>,
+    /// Every comment, keyed by the line(s) it covers: `(line, text)` with
+    /// one entry per source line the comment touches (so "is there a
+    /// SAFETY: marker on/above line N" is a flat lookup).
+    pub comments: Vec<(u32, String)>,
+    /// Classification of every source line (index 0 = line 1).
+    pub line_kinds: Vec<LineKind>,
+}
+
+impl FileLex {
+    /// All comment text covering `line` (1-based), concatenated.
+    pub fn comment_on(&self, line: u32) -> String {
+        let mut out = String::new();
+        for (l, t) in &self.comments {
+            if *l == line {
+                out.push_str(t);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The [`LineKind`] of 1-based `line` (out of range ⇒ `Blank`).
+    pub fn line_kind(&self, line: u32) -> LineKind {
+        self.line_kinds.get(line as usize - 1).copied().unwrap_or(LineKind::Blank)
+    }
+
+    /// True when `marker` appears in a comment on `line` itself or in the
+    /// contiguous comment/attribute block immediately above it (blank
+    /// lines and code lines break the search).
+    pub fn has_marker_at_or_above(&self, line: u32, marker: &str) -> bool {
+        if self.comment_on(line).contains(marker) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            match self.line_kind(l) {
+                LineKind::Comment | LineKind::Attr => {
+                    if self.comment_on(l).contains(marker) {
+                        return true;
+                    }
+                }
+                LineKind::Blank | LineKind::Code => return false,
+            }
+        }
+        false
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals degrade to a token
+/// that runs to end of file (the lints then see a short stream, which is
+/// still safe — they only ever *miss* matches on malformed input, and
+/// `rustc` rejects such files anyway).
+pub fn lex(src: &str) -> FileLex {
+    let bytes: Vec<char> = src.chars().collect();
+    let n = bytes.len();
+    let mut toks = Vec::new();
+    let mut comments: Vec<(u32, String)> = Vec::new();
+    // Per line: (saw any non-ws non-comment char, saw any comment char,
+    // first non-ws char if code).
+    let n_lines = src.lines().count().max(1);
+    let mut has_code = vec![false; n_lines + 2];
+    let mut has_comment = vec![false; n_lines + 2];
+    let mut first_code: Vec<Option<char>> = vec![None; n_lines + 2];
+
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 0;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 0;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    macro_rules! mark_code {
+        ($c:expr) => {{
+            let li = line as usize;
+            if li <= n_lines + 1 {
+                has_code[li] = true;
+                if first_code[li].is_none() {
+                    first_code[li] = Some($c);
+                }
+            }
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && bytes[i] != '\n' {
+                text.push(bytes[i]);
+                bump!();
+            }
+            has_comment[start_line as usize] = true;
+            comments.push((start_line, text));
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 0usize;
+            let mut text = String::new();
+            let mut cur_line = line;
+            while i < n {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    bump!();
+                    bump!();
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    text.push_str("*/");
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if bytes[i] == '\n' {
+                        has_comment[cur_line as usize] = true;
+                        comments.push((cur_line, std::mem::take(&mut text)));
+                        cur_line = line + 1;
+                    } else {
+                        text.push(bytes[i]);
+                    }
+                    bump!();
+                }
+            }
+            has_comment[cur_line as usize] = true;
+            comments.push((cur_line, text));
+            continue;
+        }
+        // Raw / byte strings: r"…", r#"…"#, br"…", b"…".
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i;
+            let mut raw = false;
+            if bytes[j] == 'b' {
+                j += 1;
+            }
+            if j < n && bytes[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while raw && j < n && bytes[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && bytes[j] == '"' && (raw || bytes[i] == 'b') {
+                // Consume up to and including the opening quote.
+                mark_code!(c);
+                let (tline, tcol) = (line, col);
+                while i <= j {
+                    bump!();
+                }
+                if raw {
+                    // Scan for `"###…` with the right hash count.
+                    'outer: while i < n {
+                        if bytes[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    bump!();
+                                }
+                                break 'outer;
+                            }
+                        }
+                        bump!();
+                    }
+                } else {
+                    // b"…" with escapes.
+                    while i < n {
+                        if bytes[i] == '\\' && i + 1 < n {
+                            bump!();
+                            bump!();
+                        } else if bytes[i] == '"' {
+                            bump!();
+                            break;
+                        } else {
+                            bump!();
+                        }
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line: tline, col: tcol });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // String literal.
+        if c == '"' {
+            mark_code!(c);
+            let (tline, tcol) = (line, col);
+            bump!();
+            while i < n {
+                if bytes[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                } else if bytes[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            toks.push(Tok { kind: TokKind::Lit, text: String::new(), line: tline, col: tcol });
+            continue;
+        }
+        // Char literal vs lifetime. A lifetime is `'` + ident not followed
+        // by a closing `'`; `'a'` / `'\n'` are char literals.
+        if c == '\'' {
+            mark_code!(c);
+            let (tline, tcol) = (line, col);
+            // Escaped char: always a literal.
+            if i + 1 < n && bytes[i + 1] == '\\' {
+                bump!(); // '
+                bump!(); // backslash
+                while i < n && bytes[i] != '\'' {
+                    bump!();
+                }
+                if i < n {
+                    bump!();
+                }
+                toks.push(Tok { kind: TokKind::Lit, text: String::new(), line: tline, col: tcol });
+                continue;
+            }
+            if i + 2 < n && is_ident_start(bytes[i + 1]) && bytes[i + 2] != '\'' {
+                // Lifetime: consume ident.
+                bump!();
+                let mut name = String::from("'");
+                while i < n && is_ident_cont(bytes[i]) {
+                    name.push(bytes[i]);
+                    bump!();
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, text: name, line: tline, col: tcol });
+                continue;
+            }
+            // 'x' or '{' etc: char literal.
+            bump!(); // '
+            while i < n && bytes[i] != '\'' && bytes[i] != '\n' {
+                bump!();
+            }
+            if i < n && bytes[i] == '\'' {
+                bump!();
+            }
+            toks.push(Tok { kind: TokKind::Lit, text: String::new(), line: tline, col: tcol });
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            mark_code!(c);
+            let (tline, tcol) = (line, col);
+            let mut name = String::new();
+            while i < n && is_ident_cont(bytes[i]) {
+                name.push(bytes[i]);
+                bump!();
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: name, line: tline, col: tcol });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            mark_code!(c);
+            let (tline, tcol) = (line, col);
+            let mut text = String::new();
+            while i < n && (is_ident_cont(bytes[i]) || bytes[i] == '.') {
+                // `0..9` range syntax: stop the number at `..`.
+                if bytes[i] == '.' && i + 1 < n && bytes[i + 1] == '.' {
+                    break;
+                }
+                text.push(bytes[i]);
+                bump!();
+            }
+            toks.push(Tok { kind: TokKind::Num, text, line: tline, col: tcol });
+            continue;
+        }
+        // Punctuation: one char per token.
+        mark_code!(c);
+        toks.push(Tok { kind: TokKind::Punct(c), text: c.to_string(), line, col });
+        bump!();
+    }
+
+    let mut line_kinds = Vec::with_capacity(n_lines);
+    for l in 1..=n_lines {
+        let kind = if has_code[l] {
+            if first_code[l] == Some('#') {
+                LineKind::Attr
+            } else {
+                LineKind::Code
+            }
+        } else if has_comment[l] {
+            LineKind::Comment
+        } else {
+            LineKind::Blank
+        };
+        line_kinds.push(kind);
+    }
+    FileLex { toks, comments, line_kinds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let lx = lex("let s = \"unsafe { }\"; // unsafe trailing\nunsafe { }\n");
+        let unsafes: Vec<u32> =
+            lx.toks.iter().filter(|t| t.is_ident("unsafe")).map(|t| t.line).collect();
+        assert_eq!(unsafes, vec![2], "string/comment contents must not tokenize");
+        assert!(lx.comment_on(1).contains("unsafe trailing"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let lx = lex("/* a /* b */ still */ fn x() {}\nlet r = r#\"// not a comment\"#;\n");
+        assert!(lx.toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!lx.comment_on(2).contains("not a comment"));
+        assert_eq!(lx.line_kind(1), LineKind::Code);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        let lifetimes = lx.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let lits = lx.toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn marker_search_walks_comment_blocks() {
+        let src = "// SAFETY: fine\n#[inline]\nunsafe fn f() {}\n\nunsafe fn g() {}\n";
+        let lx = lex(src);
+        assert!(lx.has_marker_at_or_above(3, "SAFETY:"));
+        assert!(!lx.has_marker_at_or_above(5, "SAFETY:"));
+    }
+
+    #[test]
+    fn line_kinds_classify_attrs_and_blanks() {
+        let lx = lex("#[derive(Debug)]\nstruct S;\n\n// c\n");
+        assert_eq!(lx.line_kind(1), LineKind::Attr);
+        assert_eq!(lx.line_kind(2), LineKind::Code);
+        assert_eq!(lx.line_kind(3), LineKind::Blank);
+        assert_eq!(lx.line_kind(4), LineKind::Comment);
+    }
+}

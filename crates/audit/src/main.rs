@@ -1,0 +1,78 @@
+//! CLI for the workspace static-analysis gate.
+//!
+//! ```text
+//! cargo run -p bsl-audit -- check [--root PATH]       # exit 1 on findings
+//! cargo run -p bsl-audit -- inventory [--root PATH]   # print unsafe surface
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bsl-audit <check|inventory> [--root PATH]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut cmd: Option<String> = None;
+    let mut root = PathBuf::from(".");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("bsl-audit: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if cmd.is_none() => cmd = Some(other.to_string()),
+            other => {
+                eprintln!("bsl-audit: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let ws = match bsl_audit::load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("bsl-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd.as_deref() {
+        Some("check") => {
+            let cfg = match bsl_audit::load_config(&root) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("bsl-audit: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let findings = bsl_audit::run_check(&ws, &cfg);
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("bsl-audit: clean ({} files, {} crates)", ws.files.len(), ws.crates.len());
+                ExitCode::SUCCESS
+            } else {
+                println!("bsl-audit: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("inventory") => {
+            print!("{}", bsl_audit::render_inventory(&ws));
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

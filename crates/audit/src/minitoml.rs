@@ -1,0 +1,289 @@
+//! A tiny TOML-subset reader for the checked-in audit policy files.
+//!
+//! Supports exactly what `audit/*.toml` uses: comments, `[table]`
+//! headers, `[[array-of-tables]]` headers, and `key = value` where value
+//! is a quoted string, an integer, a bool, or a flat array of quoted
+//! strings. Nested tables/dotted keys are out of scope — the policy files
+//! are written to this subset (and the parser errors loudly on anything
+//! else, so a drive-by edit cannot be silently ignored).
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrList(Vec<String>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+    pub fn as_list(&self) -> Option<&[String]> {
+        match self {
+            Value::StrList(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `[table]` or `[[entry]]`: a flat key→value map.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document: singleton tables by name, plus array-of-tables
+/// entries in file order.
+#[derive(Default, Debug)]
+pub struct Doc {
+    pub tables: BTreeMap<String, Table>,
+    pub arrays: BTreeMap<String, Vec<Table>>,
+}
+
+impl Doc {
+    /// The singleton table `name` (empty if absent).
+    pub fn table(&self, name: &str) -> Table {
+        self.tables.get(name).cloned().unwrap_or_default()
+    }
+
+    /// The `[[name]]` entries (empty if absent).
+    pub fn entries(&self, name: &str) -> &[Table] {
+        self.arrays.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// String-list value `key` from singleton table `table` (empty if
+    /// either is absent).
+    pub fn list(&self, table: &str, key: &str) -> Vec<String> {
+        self.tables
+            .get(table)
+            .and_then(|t| t.get(key))
+            .and_then(|v| v.as_list().map(<[String]>::to_vec))
+            .unwrap_or_default()
+    }
+}
+
+fn parse_value(s: &str, path: &str, lineno: usize) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(other) => out.push(other),
+                    None => return Err(format!("{path}:{lineno}: dangling escape")),
+                },
+                '"' => return Ok(Value::Str(out)),
+                other => out.push(other),
+            }
+        }
+        return Err(format!("{path}:{lineno}: unterminated string"));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner =
+            inner.strip_suffix(']').ok_or(format!("{path}:{lineno}: unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, path, lineno)? {
+                Value::Str(st) => items.push(st),
+                _ => return Err(format!("{path}:{lineno}: only string arrays supported")),
+            }
+        }
+        return Ok(Value::StrList(items));
+    }
+    s.parse::<i64>().map(Value::Int).map_err(|_| {
+        format!("{path}:{lineno}: unsupported value `{s}` (string/int/bool/[\"…\"] only)")
+    })
+}
+
+/// Splits an array body on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if escape {
+            cur.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                cur.push(c);
+                escape = true;
+            }
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+/// Parses `src` (using `path` only for error messages).
+pub fn parse(src: &str, path: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    // (name, is_array_entry): where key = value lines currently land.
+    let mut current: Option<(String, bool)> = None;
+    let mut lines = src.lines().enumerate();
+    while let Some((ln, raw)) = lines.next() {
+        let lineno = ln + 1;
+        let mut line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line arrays: keep consuming lines until the `[` opened in
+        // the value position is balanced by an unquoted `]`.
+        if line.contains('=') && open_array(&line) {
+            loop {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("{path}:{lineno}: unterminated array"));
+                };
+                line.push(' ');
+                line.push_str(strip_comment(next).trim());
+                if !open_array(&line) {
+                    break;
+                }
+            }
+        }
+        if let Some(h) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let name = h.trim().to_string();
+            doc.arrays.entry(name.clone()).or_default().push(Table::new());
+            current = Some((name, true));
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = h.trim().to_string();
+            doc.tables.entry(name.clone()).or_default();
+            current = Some((name, false));
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .ok_or(format!("{path}:{lineno}: expected `key = value`, got `{line}`"))?;
+        let key = key.trim().to_string();
+        let value = parse_value(val, path, lineno)?;
+        match &current {
+            Some((name, true)) => {
+                doc.arrays.get_mut(name).unwrap().last_mut().unwrap().insert(key, value);
+            }
+            Some((name, false)) => {
+                doc.tables.get_mut(name).unwrap().insert(key, value);
+            }
+            None => return Err(format!("{path}:{lineno}: `key = value` before any [table]")),
+        }
+    }
+    Ok(doc)
+}
+
+/// True while a `[` opened outside quotes awaits its closing `]`.
+fn open_array(line: &str) -> bool {
+    let mut in_str = false;
+    let mut escape = false;
+    let mut depth = 0i32;
+    for c in line.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
+}
+
+/// Drops a `#`-comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_values() {
+        let src = r#"
+# comment
+[policy]
+crates = ["bsl-core", "bsl-linalg"]  # trailing
+strict = true
+max = 42
+
+[[entry]]
+file = "a.rs"
+count = 2
+
+[[entry]]
+file = "b # not a comment.rs"
+"#;
+        let doc = parse(src, "test.toml").unwrap();
+        assert_eq!(doc.list("policy", "crates"), vec!["bsl-core", "bsl-linalg"]);
+        assert_eq!(doc.table("policy").get("strict"), Some(&Value::Bool(true)));
+        assert_eq!(doc.table("policy").get("max"), Some(&Value::Int(42)));
+        let entries = doc.entries("entry");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get("count"), Some(&Value::Int(2)));
+        assert_eq!(entries[1].get("file").unwrap().as_str(), Some("b # not a comment.rs"));
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let src = "[t]\nxs = [\n  \"a\",  # per-item comment\n  \"b\",\n]\n";
+        let doc = parse(src, "t").unwrap();
+        assert_eq!(doc.list("t", "xs"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("stray = 1\n", "t").is_err());
+        assert!(parse("[t]\nkey 1\n", "t").is_err());
+        assert!(parse("[t]\nkey = {nested = 1}\n", "t").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Exit-code and output contract of the `bsl-audit` binary, plus the
+//! self-check: the real workspace must pass its own audit with the
+//! checked-in configuration and inventory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bsl-audit"))
+        .args(args)
+        .output()
+        .expect("bsl-audit binary runs")
+}
+
+fn fixture_root(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// The real workspace root (two levels above this crate's manifest).
+fn repo_root() -> String {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/audit sits two levels below the workspace root")
+        .to_path_buf();
+    root.to_string_lossy().into_owned()
+}
+
+#[test]
+fn check_on_bad_fixture_exits_1_with_line_anchored_diagnostics() {
+    let out = run(&["check", "--root", &fixture_root("bad_ws")]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/demo/src/lib.rs:7: [hot-path-alloc]"), "stdout:\n{stdout}");
+    assert!(stdout.contains("crates/demo/src/lib.rs:12: [ordering]"), "stdout:\n{stdout}");
+    assert!(stdout.contains("crates/demo/src/lib.rs:15: [unsafe-audit]"), "stdout:\n{stdout}");
+    assert!(stdout.contains("crates/demo/src/lib.rs:19: [simd-dispatch]"), "stdout:\n{stdout}");
+    assert!(stdout.trim_end().ends_with("bsl-audit: 11 finding(s)"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn check_on_good_fixture_exits_0_and_prints_clean() {
+    let out = run(&["check", "--root", &fixture_root("good_ws")]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim_end(), "bsl-audit: clean (2 files, 1 crates)");
+}
+
+#[test]
+fn unknown_command_and_bad_root_exit_2() {
+    let out = run(&["frobnicate", "--root", &fixture_root("good_ws")]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run(&["check", "--root", "/nonexistent-bsl-audit-root"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bsl-audit:"));
+}
+
+#[test]
+fn real_workspace_passes_its_own_audit() {
+    let out = run(&["check", "--root", &repo_root()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "audit findings:\n{stdout}");
+    assert!(stdout.starts_with("bsl-audit: clean ("), "stdout:\n{stdout}");
+}
+
+#[test]
+fn checked_in_inventory_is_current() {
+    let out = run(&["inventory", "--root", &repo_root()]);
+    assert_eq!(out.status.code(), Some(0));
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    let checked_in =
+        std::fs::read_to_string(PathBuf::from(repo_root()).join("audit/unsafe_inventory.toml"))
+            .expect("audit/unsafe_inventory.toml exists");
+    assert_eq!(
+        rendered.trim_end(),
+        checked_in.trim_end(),
+        "inventory drifted — regenerate with \
+         `cargo run -p bsl-audit -- inventory > audit/unsafe_inventory.toml`"
+    );
+}

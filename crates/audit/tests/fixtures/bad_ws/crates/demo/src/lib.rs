@@ -1,0 +1,20 @@
+//! Fixture crate: every lint family fires at a known line.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+pub fn hot_sum(xs: &[u32]) -> u32 {
+    let doubled: Vec<u32> = xs.to_vec();
+    doubled.iter().sum()
+}
+
+pub fn read_counter(c: &AtomicU64) -> u64 {
+    c.load(Relaxed)
+}
+
+pub unsafe fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn rogue_kernel() {}

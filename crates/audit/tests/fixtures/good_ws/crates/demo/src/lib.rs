@@ -1,0 +1,23 @@
+//! Fixture crate: the same shapes as `bad_ws`, each properly justified.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod simd;
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+pub fn hot_sum(xs: &[u32]) -> u32 {
+    // bsl-audit: allow(hot-path-alloc) -- fixture waiver exercising the plumbing
+    let doubled: Vec<u32> = xs.to_vec();
+    doubled.iter().fold(0, |a, b| a + b)
+}
+
+// ORDERING: Relaxed — monotone counter, nothing published through it.
+pub fn read_counter(c: &AtomicU64) -> u64 {
+    c.load(Relaxed)
+}
+
+// SAFETY: to call, `p` must point to a live byte.
+pub unsafe fn peek(p: *const u8) -> u8 {
+    // SAFETY: caller contract — `p` points to a live byte.
+    unsafe { *p }
+}

@@ -1,0 +1,18 @@
+//! Fixture dispatch module: one registered kernel with a scalar twin.
+
+pub mod scalar {
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+// SAFETY: to call, the dispatcher must have verified AVX2 support.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[target_feature(enable = "avx2")]
+pub unsafe fn dot_impl(a: &[f32], b: &[f32]) -> f32 {
+    scalar::dot(a, b)
+}
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    scalar::dot(a, b)
+}

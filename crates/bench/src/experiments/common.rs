@@ -19,12 +19,16 @@ static DEFAULT_HOGWILD: AtomicBool = AtomicBool::new(false);
 /// Note that `threads != 1` changes sampling streams, so figures/tables
 /// are then reproducible per machine-independent `(seed, threads)` pair
 /// but no longer bit-comparable to the serial baseline.
+// ORDERING: Relaxed — process-wide CLI default written once by `repro`'s
+// flag parsing before any experiment thread exists; no data is published
+// through it.
 pub fn set_default_threads(threads: usize) {
     DEFAULT_THREADS.store(threads, Ordering::Relaxed);
 }
 
 /// The thread count experiments currently run with (see
 /// [`set_default_threads`]).
+// ORDERING: Relaxed — see `set_default_threads`.
 pub fn default_threads() -> usize {
     DEFAULT_THREADS.load(Ordering::Relaxed)
 }
@@ -34,12 +38,15 @@ pub fn default_threads() -> usize {
 /// in-place updates (metrics within run-to-run noise of exact; see the
 /// README's execution-modes table) and only engages with `threads > 1`
 /// on backbones that support it.
+// ORDERING: Relaxed — single-flag CLI default, written before experiment
+// threads spawn (see `set_default_threads`).
 pub fn set_default_sync(sync: SyncMode) {
     DEFAULT_HOGWILD.store(sync == SyncMode::Hogwild, Ordering::Relaxed);
 }
 
 /// The sync mode experiments currently run with (see [`set_default_sync`]).
 pub fn default_sync() -> SyncMode {
+    // ORDERING: Relaxed — see `set_default_threads`.
     if DEFAULT_HOGWILD.load(Ordering::Relaxed) {
         SyncMode::Hogwild
     } else {

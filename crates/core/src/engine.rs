@@ -217,6 +217,10 @@ impl<'a> HogwildView<'a> {
     ///
     /// # Panics
     /// Panics if `out.len() != self.cols()` or `r` is out of bounds.
+    // ORDERING: Relaxed by design — hogwild readers tolerate torn row
+    // views (each u32 cell is individually atomic, no cross-cell order is
+    // claimed); the stale/mixed values this admits are exactly the
+    // asynchrony the Hogwild! convergence argument prices in.
     pub fn load_row(&self, r: usize, out: &mut [f32]) {
         assert_eq!(out.len(), self.cols, "row buffer width mismatch");
         let row = &self.cells[r * self.cols..(r + 1) * self.cols];
@@ -229,6 +233,9 @@ impl<'a> HogwildView<'a> {
     ///
     /// # Panics
     /// Panics if `vals.len() != self.cols()` or `r` is out of bounds.
+    // ORDERING: Relaxed by design — see `load_row`; publication of the
+    // final values happens at the pool join (a synchronizing edge), not
+    // through these stores.
     pub fn store_row(&self, r: usize, vals: &[f32]) {
         assert_eq!(vals.len(), self.cols, "row buffer width mismatch");
         let row = &self.cells[r * self.cols..(r + 1) * self.cols];

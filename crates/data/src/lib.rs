@@ -9,6 +9,9 @@
 //! paper's controlled noise-injection experiments (Figs 3/6/8/9, Table IV)
 //! exactly reproducible.
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod dataset;

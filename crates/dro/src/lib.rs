@@ -15,6 +15,9 @@
 //!   with [`duality_gap`] measuring their difference;
 //! * [`taylor_value`] / [`taylor_remainder`] — Lemma 2's expansion.
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod duality;

@@ -10,6 +10,9 @@
 //!   Davies–Bouldin) over the generator's ground-truth item clusters, which
 //!   turn "the blobs look tighter" into a number a test can assert on.
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cluster;

@@ -12,6 +12,9 @@
 //! distance, per the paper's Table V) are baked into the artifact's
 //! prepared tables once, not repaid per evaluation call.
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod groups;

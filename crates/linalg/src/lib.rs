@@ -13,6 +13,9 @@
 //! * all randomness flows through caller-provided [`rand::Rng`] values so
 //!   every computation in the workspace is reproducible from a seed.
 
+// On the bsl-audit unsafe allowlist (audit/policy.toml): unsafe fns must
+// still spell out every unsafe operation in an explicit `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 
 pub mod kernels;

@@ -446,16 +446,26 @@ mod avx2 {
 
     /// The `__m256i` mask activating the first `rem < 8` lanes.
     #[inline]
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn tail_mask(rem: usize) -> __m256i {
-        debug_assert!(rem < 8);
-        _mm256_loadu_si256(TAIL_MASKS[rem].as_ptr().cast())
+        // SAFETY: 32-byte load entirely inside TAIL_MASKS[rem], which exists
+        // for every rem < 8 (debug_asserted).
+        unsafe {
+            debug_assert!(rem < 8);
+            _mm256_loadu_si256(TAIL_MASKS[rem].as_ptr().cast())
+        }
     }
 
     /// Horizontal sum of an 8-lane register (pairwise).
     #[inline]
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn hsum(v: __m256) -> f32 {
+        // Register-only lane shuffles and adds (safe under target_feature);
+        // no memory access.
         let hi = _mm256_extractf128_ps(v, 1);
         let lo = _mm256_castps256_ps128(v);
         let s = _mm_add_ps(lo, hi);
@@ -464,135 +474,184 @@ mod avx2 {
         _mm_cvtss_f32(s)
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // a and b must be equal length (debug_asserted).
     #[target_feature(enable = "avx2,fma")]
     unsafe fn dot_impl(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let n = a.len();
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 16 <= n {
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
-            acc1 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(pa.add(i + 8)),
-                _mm256_loadu_ps(pb.add(i + 8)),
-                acc1,
-            );
-            i += 16;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with full 8-lane loads for i + 8 <= n and masked loads
+        // (inactive lanes read as 0.0) for the tail — all inside a/b.
+        unsafe {
+            debug_assert_eq!(a.len(), b.len());
+            let n = a.len();
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(pa.add(i + 8)),
+                    _mm256_loadu_ps(pb.add(i + 8)),
+                    acc1,
+                );
+                i += 16;
+            }
+            if i + 8 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+                i += 8;
+            }
+            if i < n {
+                // Masked tail: inactive lanes load as 0.0 and contribute
+                // nothing — no per-element scalar loop at odd dims.
+                let mask = tail_mask(n - i);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_maskload_ps(pa.add(i), mask),
+                    _mm256_maskload_ps(pb.add(i), mask),
+                    acc1,
+                );
+            }
+            hsum(_mm256_add_ps(acc0, acc1))
         }
-        if i + 8 <= n {
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
-            i += 8;
-        }
-        if i < n {
-            // Masked tail: inactive lanes load as 0.0 and contribute
-            // nothing — no per-element scalar loop at odd dims.
-            let mask = tail_mask(n - i);
-            acc1 = _mm256_fmadd_ps(
-                _mm256_maskload_ps(pa.add(i), mask),
-                _mm256_maskload_ps(pb.add(i), mask),
-                acc1,
-            );
-        }
-        hsum(_mm256_add_ps(acc0, acc1))
     }
 
     #[inline]
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); equal lengths are debug_asserted by the kernel.
         unsafe { dot_impl(a, b) }
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // x and y must be equal length (debug_asserted).
     #[target_feature(enable = "avx2,fma")]
     unsafe fn axpy_impl(alpha: f32, x: &[f32], y: &mut [f32]) {
-        debug_assert_eq!(x.len(), y.len());
-        let n = x.len();
-        let (px, py) = (x.as_ptr(), y.as_mut_ptr());
-        let va = _mm256_set1_ps(alpha);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let r = _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
-            _mm256_storeu_ps(py.add(i), r);
-            i += 8;
-        }
-        if i < n {
-            // Masked tail: load/compute/store only the live lanes.
-            let mask = tail_mask(n - i);
-            let r = _mm256_fmadd_ps(
-                va,
-                _mm256_maskload_ps(px.add(i), mask),
-                _mm256_maskload_ps(py.add(i), mask),
-            );
-            _mm256_maskstore_ps(py.add(i), mask, r);
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with full 8-lane access for i + 8 <= n and masked
+        // load/store of only the live lanes for the tail.
+        unsafe {
+            debug_assert_eq!(x.len(), y.len());
+            let n = x.len();
+            let (px, py) = (x.as_ptr(), y.as_mut_ptr());
+            let va = _mm256_set1_ps(alpha);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let r = _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
+                _mm256_storeu_ps(py.add(i), r);
+                i += 8;
+            }
+            if i < n {
+                // Masked tail: load/compute/store only the live lanes.
+                let mask = tail_mask(n - i);
+                let r = _mm256_fmadd_ps(
+                    va,
+                    _mm256_maskload_ps(px.add(i), mask),
+                    _mm256_maskload_ps(py.add(i), mask),
+                );
+                _mm256_maskstore_ps(py.add(i), mask, r);
+            }
         }
     }
 
     #[inline]
     pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); equal lengths are debug_asserted by the kernel.
         unsafe { axpy_impl(alpha, x, y) }
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn scale_impl(alpha: f32, y: &mut [f32]) {
-        let n = y.len();
-        let py = y.as_mut_ptr();
-        let va = _mm256_set1_ps(alpha);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            _mm256_storeu_ps(py.add(i), _mm256_mul_ps(va, _mm256_loadu_ps(py.add(i))));
-            i += 8;
-        }
-        while i < n {
-            *py.add(i) *= alpha;
-            i += 1;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with i + 8 <= n, and the scalar tail dereferences single
+        // in-bounds elements of y.
+        unsafe {
+            let n = y.len();
+            let py = y.as_mut_ptr();
+            let va = _mm256_set1_ps(alpha);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                _mm256_storeu_ps(py.add(i), _mm256_mul_ps(va, _mm256_loadu_ps(py.add(i))));
+                i += 8;
+            }
+            while i < n {
+                *py.add(i) *= alpha;
+                i += 1;
+            }
         }
     }
 
     #[inline]
     pub fn scale(alpha: f32, y: &mut [f32]) {
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); the kernel never reads past y.len().
         unsafe { scale_impl(alpha, y) }
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // a and b must be equal length (debug_asserted).
     #[target_feature(enable = "avx2,fma")]
     unsafe fn sq_dist_impl(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let n = a.len();
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
-            acc = _mm256_fmadd_ps(d, d, acc);
-            i += 8;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with i + 8 <= n, and the scalar tail dereferences single
+        // in-bounds elements of a/b (equal lengths debug_asserted).
+        unsafe {
+            debug_assert_eq!(a.len(), b.len());
+            let n = a.len();
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+                acc = _mm256_fmadd_ps(d, d, acc);
+                i += 8;
+            }
+            let mut out = hsum(acc);
+            while i < n {
+                let d = *pa.add(i) - *pb.add(i);
+                out = f32::mul_add(d, d, out);
+                i += 1;
+            }
+            out
         }
-        let mut out = hsum(acc);
-        while i < n {
-            let d = *pa.add(i) - *pb.add(i);
-            out = f32::mul_add(d, d, out);
-            i += 1;
-        }
-        out
     }
 
     #[inline]
     pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); equal lengths are debug_asserted by the kernel.
         unsafe { sq_dist_impl(a, b) }
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // x and out must be equal length (debug_asserted).
     #[target_feature(enable = "avx2,fma")]
     unsafe fn scale_into_impl(inv: f32, x: &[f32], out: &mut [f32]) {
-        debug_assert_eq!(x.len(), out.len());
-        let n = x.len();
-        let (px, po) = (x.as_ptr(), out.as_mut_ptr());
-        let vi = _mm256_set1_ps(inv);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            _mm256_storeu_ps(po.add(i), _mm256_mul_ps(vi, _mm256_loadu_ps(px.add(i))));
-            i += 8;
-        }
-        while i < n {
-            *po.add(i) = *px.add(i) * inv;
-            i += 1;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with i + 8 <= n, and the scalar tail dereferences single
+        // in-bounds elements of x/out (equal lengths debug_asserted).
+        unsafe {
+            debug_assert_eq!(x.len(), out.len());
+            let n = x.len();
+            let (px, po) = (x.as_ptr(), out.as_mut_ptr());
+            let vi = _mm256_set1_ps(inv);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                _mm256_storeu_ps(po.add(i), _mm256_mul_ps(vi, _mm256_loadu_ps(px.add(i))));
+                i += 8;
+            }
+            while i < n {
+                *po.add(i) = *px.add(i) * inv;
+                i += 1;
+            }
         }
     }
 
@@ -600,10 +659,15 @@ mod avx2 {
     pub fn normalize_into(x: &[f32], out: &mut [f32]) -> f32 {
         let n = dot(x, x).max(0.0).sqrt();
         let inv = 1.0 / n.max(1e-12);
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); x and out are equal length (debug_asserted by the kernel).
         unsafe { scale_into_impl(inv, x, out) };
         n
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // a_hat, b_hat and grad_a must be equal length.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn cosine_backward_impl(
         c1: f32,
@@ -612,21 +676,26 @@ mod avx2 {
         b_hat: &[f32],
         grad_a: &mut [f32],
     ) {
-        let n = grad_a.len();
-        let (pa, pb, pg) = (a_hat.as_ptr(), b_hat.as_ptr(), grad_a.as_mut_ptr());
-        let vc1 = _mm256_set1_ps(c1);
-        let vc2 = _mm256_set1_ps(c2);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let mut r =
-                _mm256_fmadd_ps(vc1, _mm256_loadu_ps(pb.add(i)), _mm256_loadu_ps(pg.add(i)));
-            r = _mm256_fnmadd_ps(vc2, _mm256_loadu_ps(pa.add(i)), r);
-            _mm256_storeu_ps(pg.add(i), r);
-            i += 8;
-        }
-        while i < n {
-            *pg.add(i) += c1 * *pb.add(i) - c2 * *pa.add(i);
-            i += 1;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with i + 8 <= n, and the scalar tail dereferences single
+        // in-bounds elements (equal lengths per caller contract).
+        unsafe {
+            let n = grad_a.len();
+            let (pa, pb, pg) = (a_hat.as_ptr(), b_hat.as_ptr(), grad_a.as_mut_ptr());
+            let vc1 = _mm256_set1_ps(c1);
+            let vc2 = _mm256_set1_ps(c2);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let mut r =
+                    _mm256_fmadd_ps(vc1, _mm256_loadu_ps(pb.add(i)), _mm256_loadu_ps(pg.add(i)));
+                r = _mm256_fnmadd_ps(vc2, _mm256_loadu_ps(pa.add(i)), r);
+                _mm256_storeu_ps(pg.add(i), r);
+                i += 8;
+            }
+            while i < n {
+                *pg.add(i) += c1 * *pb.add(i) - c2 * *pa.add(i);
+                i += 1;
+            }
         }
     }
 
@@ -642,32 +711,42 @@ mod avx2 {
         debug_assert_eq!(a_hat.len(), grad_a.len());
         debug_assert_eq!(b_hat.len(), grad_a.len());
         let inv = 1.0 / a_norm.max(1e-12);
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); equal lengths asserted above.
         unsafe { cosine_backward_impl(g * inv, g * s * inv, a_hat, b_hat, grad_a) }
     }
 
     /// Two simultaneous dots of one query against rows `r0`, `r1` —
     /// shares the query loads across both item rows.
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // Callers must pass r0/r1 at least as long as q.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn dot2_impl(q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
-        let n = q.len();
-        let (pq, p0, p1) = (q.as_ptr(), r0.as_ptr(), r1.as_ptr());
-        let mut a0 = _mm256_setzero_ps();
-        let mut a1 = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let vq = _mm256_loadu_ps(pq.add(i));
-            a0 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(p0.add(i)), a0);
-            a1 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(p1.add(i)), a1);
-            i += 8;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with full 8-lane loads for i + 8 <= n and masked loads for
+        // the tail, so every active lane reads inside q/r0/r1.
+        unsafe {
+            let n = q.len();
+            let (pq, p0, p1) = (q.as_ptr(), r0.as_ptr(), r1.as_ptr());
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let vq = _mm256_loadu_ps(pq.add(i));
+                a0 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(p0.add(i)), a0);
+                a1 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(p1.add(i)), a1);
+                i += 8;
+            }
+            if i < n {
+                // Masked tail shared across both rows (odd-dim fix).
+                let mask = tail_mask(n - i);
+                let vq = _mm256_maskload_ps(pq.add(i), mask);
+                a0 = _mm256_fmadd_ps(vq, _mm256_maskload_ps(p0.add(i), mask), a0);
+                a1 = _mm256_fmadd_ps(vq, _mm256_maskload_ps(p1.add(i), mask), a1);
+            }
+            (hsum(a0), hsum(a1))
         }
-        if i < n {
-            // Masked tail shared across both rows (odd-dim fix).
-            let mask = tail_mask(n - i);
-            let vq = _mm256_maskload_ps(pq.add(i), mask);
-            a0 = _mm256_fmadd_ps(vq, _mm256_maskload_ps(p0.add(i), mask), a0);
-            a1 = _mm256_fmadd_ps(vq, _mm256_maskload_ps(p1.add(i), mask), a1);
-        }
-        (hsum(a0), hsum(a1))
     }
 
     /// `out[j] = <q, block[j·d ..]>` for an `M × d` row block, two rows
@@ -677,6 +756,8 @@ mod avx2 {
         let d = q.len();
         let mut j = 0usize;
         while j + 2 <= out.len() {
+            // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+            // docs); both row slices are exactly d = q.len() elements.
             let (s0, s1) = unsafe {
                 dot2_impl(q, &block[j * d..(j + 1) * d], &block[(j + 1) * d..(j + 2) * d])
             };
@@ -689,6 +770,9 @@ mod avx2 {
         }
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // param, m, v and g must be equal length.
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn adam_update_impl(
@@ -703,39 +787,44 @@ mod avx2 {
         bc2: f32,
         eps: f32,
     ) {
-        let n = param.len();
-        let (pp, pm, pv, pg) = (param.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
-        let vb1 = _mm256_set1_ps(beta1);
-        let vb1c = _mm256_set1_ps(1.0 - beta1);
-        let vb2 = _mm256_set1_ps(beta2);
-        let vb2c = _mm256_set1_ps(1.0 - beta2);
-        let vbc1 = _mm256_set1_ps(bc1);
-        let vbc2 = _mm256_set1_ps(bc2);
-        let veps = _mm256_set1_ps(eps);
-        let vlr = _mm256_set1_ps(lr);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let gv = _mm256_loadu_ps(pg.add(i));
-            let mv = _mm256_fmadd_ps(vb1, _mm256_loadu_ps(pm.add(i)), _mm256_mul_ps(vb1c, gv));
-            _mm256_storeu_ps(pm.add(i), mv);
-            let g2 = _mm256_mul_ps(gv, gv);
-            let vv = _mm256_fmadd_ps(vb2, _mm256_loadu_ps(pv.add(i)), _mm256_mul_ps(vb2c, g2));
-            _mm256_storeu_ps(pv.add(i), vv);
-            let m_hat = _mm256_div_ps(mv, vbc1);
-            let v_hat = _mm256_div_ps(vv, vbc2);
-            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), veps);
-            let step = _mm256_div_ps(_mm256_mul_ps(vlr, m_hat), denom);
-            _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(_mm256_loadu_ps(pp.add(i)), step));
-            i += 8;
-        }
-        while i < n {
-            let gi = *pg.add(i);
-            let mi = beta1 * *pm.add(i) + (1.0 - beta1) * gi;
-            *pm.add(i) = mi;
-            let vi = beta2 * *pv.add(i) + (1.0 - beta2) * gi * gi;
-            *pv.add(i) = vi;
-            *pp.add(i) -= lr * (mi / bc1) / ((vi / bc2).sqrt() + eps);
-            i += 1;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with i + 8 <= n, and the scalar tail dereferences single
+        // in-bounds elements of the four equal-length slices (caller contract).
+        unsafe {
+            let n = param.len();
+            let (pp, pm, pv, pg) = (param.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+            let vb1 = _mm256_set1_ps(beta1);
+            let vb1c = _mm256_set1_ps(1.0 - beta1);
+            let vb2 = _mm256_set1_ps(beta2);
+            let vb2c = _mm256_set1_ps(1.0 - beta2);
+            let vbc1 = _mm256_set1_ps(bc1);
+            let vbc2 = _mm256_set1_ps(bc2);
+            let veps = _mm256_set1_ps(eps);
+            let vlr = _mm256_set1_ps(lr);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let gv = _mm256_loadu_ps(pg.add(i));
+                let mv = _mm256_fmadd_ps(vb1, _mm256_loadu_ps(pm.add(i)), _mm256_mul_ps(vb1c, gv));
+                _mm256_storeu_ps(pm.add(i), mv);
+                let g2 = _mm256_mul_ps(gv, gv);
+                let vv = _mm256_fmadd_ps(vb2, _mm256_loadu_ps(pv.add(i)), _mm256_mul_ps(vb2c, g2));
+                _mm256_storeu_ps(pv.add(i), vv);
+                let m_hat = _mm256_div_ps(mv, vbc1);
+                let v_hat = _mm256_div_ps(vv, vbc2);
+                let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), veps);
+                let step = _mm256_div_ps(_mm256_mul_ps(vlr, m_hat), denom);
+                _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(_mm256_loadu_ps(pp.add(i)), step));
+                i += 8;
+            }
+            while i < n {
+                let gi = *pg.add(i);
+                let mi = beta1 * *pm.add(i) + (1.0 - beta1) * gi;
+                *pm.add(i) = mi;
+                let vi = beta2 * *pv.add(i) + (1.0 - beta2) * gi * gi;
+                *pv.add(i) = vi;
+                *pp.add(i) -= lr * (mi / bc1) / ((vi / bc2).sqrt() + eps);
+                i += 1;
+            }
         }
     }
 
@@ -756,27 +845,38 @@ mod avx2 {
         debug_assert_eq!(param.len(), g.len());
         debug_assert_eq!(m.len(), g.len());
         debug_assert_eq!(v.len(), g.len());
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); equal lengths asserted above.
         unsafe { adam_update_impl(param, m, v, g, lr, beta1, beta2, bc1, bc2, eps) }
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // param, v and g must be equal length.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn sgd_momentum_impl(param: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, mu: f32) {
-        let n = param.len();
-        let (pp, pv, pg) = (param.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
-        let vmu = _mm256_set1_ps(mu);
-        let vlr = _mm256_set1_ps(lr);
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let vel = _mm256_fmadd_ps(vmu, _mm256_loadu_ps(pv.add(i)), _mm256_loadu_ps(pg.add(i)));
-            _mm256_storeu_ps(pv.add(i), vel);
-            _mm256_storeu_ps(pp.add(i), _mm256_fnmadd_ps(vlr, vel, _mm256_loadu_ps(pp.add(i))));
-            i += 8;
-        }
-        while i < n {
-            let vel = f32::mul_add(mu, *pv.add(i), *pg.add(i));
-            *pv.add(i) = vel;
-            *pp.add(i) = f32::mul_add(-lr, vel, *pp.add(i));
-            i += 1;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with i + 8 <= n, and the scalar tail dereferences single
+        // in-bounds elements of param/v/g (equal lengths per caller contract).
+        unsafe {
+            let n = param.len();
+            let (pp, pv, pg) = (param.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+            let vmu = _mm256_set1_ps(mu);
+            let vlr = _mm256_set1_ps(lr);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let vel =
+                    _mm256_fmadd_ps(vmu, _mm256_loadu_ps(pv.add(i)), _mm256_loadu_ps(pg.add(i)));
+                _mm256_storeu_ps(pv.add(i), vel);
+                _mm256_storeu_ps(pp.add(i), _mm256_fnmadd_ps(vlr, vel, _mm256_loadu_ps(pp.add(i))));
+                i += 8;
+            }
+            while i < n {
+                let vel = f32::mul_add(mu, *pv.add(i), *pg.add(i));
+                *pv.add(i) = vel;
+                *pp.add(i) = f32::mul_add(-lr, vel, *pp.add(i));
+                i += 1;
+            }
         }
     }
 
@@ -785,81 +885,105 @@ mod avx2 {
     pub fn sgd_momentum_update(param: &mut [f32], v: &mut [f32], g: &[f32], lr: f32, mu: f32) {
         debug_assert_eq!(param.len(), g.len());
         debug_assert_eq!(v.len(), g.len());
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); equal lengths asserted above.
         unsafe { sgd_momentum_impl(param, v, g, lr, mu) }
     }
 
     /// Widens 8 packed `i8` values (the low 8 bytes of `b`) to one f32
     /// register: sign-extend to i32 lanes, then convert.
     #[inline]
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn widen8(b: __m128i) -> __m256 {
+        // Register-only widening (safe under target_feature); no memory
+        // access.
         _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b))
     }
 
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // q and row must be equal length (debug_asserted).
     #[target_feature(enable = "avx2,fma")]
     unsafe fn dequant_dot_impl(q: &[f32], row: &[i8]) -> f32 {
-        debug_assert_eq!(q.len(), row.len());
-        let n = q.len();
-        let (pq, pr) = (q.as_ptr(), row.as_ptr());
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 16 <= n {
-            // One 16-byte load covers two 8-lane dequant groups.
-            let b = _mm_loadu_si128(pr.add(i).cast());
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), widen8(b), acc0);
-            acc1 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(pq.add(i + 8)),
-                widen8(_mm_srli_si128::<8>(b)),
-                acc1,
-            );
-            i += 16;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offsets bounded by the loop conditions (16- and 8-byte i8 loads at
+        // i + 16 <= n / i + 8 <= n), with a scalar sub-8 tail.
+        unsafe {
+            debug_assert_eq!(q.len(), row.len());
+            let n = q.len();
+            let (pq, pr) = (q.as_ptr(), row.as_ptr());
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                // One 16-byte load covers two 8-lane dequant groups.
+                let b = _mm_loadu_si128(pr.add(i).cast());
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), widen8(b), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(pq.add(i + 8)),
+                    widen8(_mm_srli_si128::<8>(b)),
+                    acc1,
+                );
+                i += 16;
+            }
+            if i + 8 <= n {
+                let b = _mm_loadl_epi64(pr.add(i).cast());
+                acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), widen8(b), acc0);
+                i += 8;
+            }
+            let mut out = hsum(_mm256_add_ps(acc0, acc1));
+            while i < n {
+                // Sub-8 tail: i8 lanes have no maskload, so finish scalar.
+                out = f32::mul_add(*pq.add(i), *pr.add(i) as f32, out);
+                i += 1;
+            }
+            out
         }
-        if i + 8 <= n {
-            let b = _mm_loadl_epi64(pr.add(i).cast());
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pq.add(i)), widen8(b), acc0);
-            i += 8;
-        }
-        let mut out = hsum(_mm256_add_ps(acc0, acc1));
-        while i < n {
-            // Sub-8 tail: i8 lanes have no maskload, so finish scalar.
-            out = f32::mul_add(*pq.add(i), *pr.add(i) as f32, out);
-            i += 1;
-        }
-        out
     }
 
     /// Fused int8→f32 dequantize-dot: `scale · Σ q[j]·row[j]` with the
     /// widening done in-register (no materialized f32 row).
     #[inline]
     pub fn dequant_dot(q: &[f32], row: &[i8], scale: f32) -> f32 {
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); equal lengths are debug_asserted by the kernel.
         unsafe { dequant_dot_impl(q, row) * scale }
     }
 
     /// Two simultaneous dequant-dots of one query against quantized rows
     /// `r0`, `r1` — shares the query loads across both rows, like
     /// [`dot2_impl`] does for f32.
+    // SAFETY: to call, `target_feature` only — sound once AVX2+FMA are
+    // verified, which the dispatch tables do before routing here.
+    // Callers must pass r0/r1 at least as long as q.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn dequant_dot2_impl(q: &[f32], r0: &[i8], r1: &[i8]) -> (f32, f32) {
-        let n = q.len();
-        let (pq, p0, p1) = (q.as_ptr(), r0.as_ptr(), r1.as_ptr());
-        let mut a0 = _mm256_setzero_ps();
-        let mut a1 = _mm256_setzero_ps();
-        let mut i = 0usize;
-        while i + 8 <= n {
-            let vq = _mm256_loadu_ps(pq.add(i));
-            a0 = _mm256_fmadd_ps(vq, widen8(_mm_loadl_epi64(p0.add(i).cast())), a0);
-            a1 = _mm256_fmadd_ps(vq, widen8(_mm_loadl_epi64(p1.add(i).cast())), a1);
-            i += 8;
+        // SAFETY: every load/store goes through a slice-derived pointer at
+        // offset i with i + 8 <= n (8-byte i8 loads widen the low 8 lanes),
+        // and the scalar tail dereferences single in-bounds elements.
+        unsafe {
+            let n = q.len();
+            let (pq, p0, p1) = (q.as_ptr(), r0.as_ptr(), r1.as_ptr());
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let vq = _mm256_loadu_ps(pq.add(i));
+                a0 = _mm256_fmadd_ps(vq, widen8(_mm_loadl_epi64(p0.add(i).cast())), a0);
+                a1 = _mm256_fmadd_ps(vq, widen8(_mm_loadl_epi64(p1.add(i).cast())), a1);
+                i += 8;
+            }
+            let (mut s0, mut s1) = (hsum(a0), hsum(a1));
+            while i < n {
+                let x = *pq.add(i);
+                s0 = f32::mul_add(x, *p0.add(i) as f32, s0);
+                s1 = f32::mul_add(x, *p1.add(i) as f32, s1);
+                i += 1;
+            }
+            (s0, s1)
         }
-        let (mut s0, mut s1) = (hsum(a0), hsum(a1));
-        while i < n {
-            let x = *pq.add(i);
-            s0 = f32::mul_add(x, *p0.add(i) as f32, s0);
-            s1 = f32::mul_add(x, *p1.add(i) as f32, s1);
-            i += 1;
-        }
-        (s0, s1)
     }
 
     /// `out[j] = scales[j] · <q, block_i8[j·d ..]>` for an `M × d`
@@ -869,6 +993,8 @@ mod avx2 {
         let d = q.len();
         let mut j = 0usize;
         while j + 2 <= out.len() {
+            // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+            // docs); both row slices are exactly d = q.len() elements.
             let (s0, s1) = unsafe {
                 dequant_dot2_impl(q, &block[j * d..(j + 1) * d], &block[(j + 1) * d..(j + 2) * d])
             };
@@ -886,6 +1012,8 @@ mod avx2 {
     /// covers the whole candidate list, so the per-row dispatch + call
     /// overhead of looping [`dequant_dot`] from safe code disappears and
     /// each row pair shares the query loads.
+    // SAFETY: to call, AVX2+FMA must be enabled; `out` must be at least
+    // `ids` long and every id must index a full row of `table`/`scales`.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn scores_gather_i8_impl(
         q: &[f32],
@@ -894,19 +1022,28 @@ mod avx2 {
         ids: &[u32],
         out: &mut [f32],
     ) {
-        let d = q.len();
-        let mut j = 0usize;
-        while j + 2 <= ids.len() {
-            let (i0, i1) = (ids[j] as usize, ids[j + 1] as usize);
-            let (s0, s1) =
-                dequant_dot2_impl(q, &table[i0 * d..(i0 + 1) * d], &table[i1 * d..(i1 + 1) * d]);
-            out[j] = s0 * scales[i0];
-            out[j + 1] = s1 * scales[i1];
-            j += 2;
-        }
-        if j < ids.len() {
-            let i = ids[j] as usize;
-            out[j] = dequant_dot_impl(q, &table[i * d..(i + 1) * d]) * scales[i];
+        // SAFETY: the row slicing below is ordinary safe indexing (panics on
+        // a bad id rather than reading out of bounds); the only unsafe ops are
+        // the callee kernels, whose equal-length contracts hold because every
+        // row slice is exactly d = q.len() elements.
+        unsafe {
+            let d = q.len();
+            let mut j = 0usize;
+            while j + 2 <= ids.len() {
+                let (i0, i1) = (ids[j] as usize, ids[j + 1] as usize);
+                let (s0, s1) = dequant_dot2_impl(
+                    q,
+                    &table[i0 * d..(i0 + 1) * d],
+                    &table[i1 * d..(i1 + 1) * d],
+                );
+                out[j] = s0 * scales[i0];
+                out[j + 1] = s1 * scales[i1];
+                j += 2;
+            }
+            if j < ids.len() {
+                let i = ids[j] as usize;
+                out[j] = dequant_dot_impl(q, &table[i * d..(i + 1) * d]) * scales[i];
+            }
         }
     }
 
@@ -914,6 +1051,8 @@ mod avx2 {
     /// dispatch tables before this is reachable).
     #[inline]
     pub fn scores_gather_i8(q: &[f32], table: &[i8], scales: &[f32], ids: &[u32], out: &mut [f32]) {
+        // SAFETY: AVX2+FMA verified before this module is dispatched (mod
+        // docs); each gathered row slice has length d = q.len() by construction.
         unsafe { scores_gather_i8_impl(q, table, scales, ids, out) }
     }
 }

@@ -15,6 +15,9 @@
 //!   loss), and the Taylor-expansion ablations [`TaylorSl`] used by the
 //!   Fig-5 fairness study.
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod bsl;

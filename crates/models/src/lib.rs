@@ -23,6 +23,9 @@
 //!   baselines whose training protocol does not fit the sampled-batch
 //!   trainer (whole-data non-sampling loss; degree-weighted BCE).
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod artifact;

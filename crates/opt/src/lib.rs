@@ -8,6 +8,9 @@
 //! rows are frozen rather than decayed, which is the usual, documented
 //! approximation).
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod adam;

@@ -6,6 +6,9 @@
 //! at a controlled rate `r_noise`, which is how §III-B and Fig 8 create the
 //! negative-side distribution shift that SL's DRO structure defends against.
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod alias;

@@ -231,11 +231,15 @@ impl ServeEngine {
     /// generation, which drops when its last holder does.
     pub fn swap(&self, tenant: &str, state: ServeState) -> Result<u64, ServeError> {
         let version = self.registry.swap(tenant, state)?;
+        // ORDERING: Relaxed — monotone stats counter; consistency of the
+        // swap itself is carried by the slot's SeqCst protocol, not here.
         self.counters.swaps.fetch_add(1, Relaxed);
         Ok(version)
     }
 
     /// A point-in-time stats snapshot.
+    // ORDERING: Relaxed throughout — independent monotone counters; the
+    // snapshot is advisory and does not claim cross-counter consistency.
     pub fn stats(&self) -> StatsSnapshot {
         let c = &self.counters;
         let batches = c.batches.load(Relaxed);
@@ -272,6 +276,9 @@ impl Drop for ServeEngine {
 /// rest coalesced within the policy window), then score it per tenant
 /// group through the shared-state batched pass. Exits when the queue
 /// closes.
+// ORDERING: all counter updates in here are Relaxed — monotone stats
+// counters read only by the advisory `stats` snapshot; request/response
+// hand-off synchronizes through the channels, never through these.
 fn worker_loop(rx: &Mutex<Receiver<Queued>>, counters: &Counters, policy: BatchPolicy) {
     let mut scratch = ServeScratch::new();
     let mut batch: Vec<Queued> = Vec::with_capacity(policy.max_batch);

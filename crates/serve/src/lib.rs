@@ -59,6 +59,9 @@
 //! reused across calls; the `_into` variants don't allocate at all once
 //! warm.
 
+// On the bsl-audit unsafe allowlist (audit/policy.toml): unsafe fns must
+// still spell out every unsafe operation in an explicit `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 
 pub mod engine;

@@ -418,6 +418,9 @@ fn handle(engine: &ServeEngine, req: Request, shutdown: &AtomicBool) -> Response
         }
         Request::Stats => Response::Stats(engine.stats().to_string()),
         Request::Shutdown => {
+            // ORDERING: SeqCst — set-once shutdown latch; total order
+            // keeps the flag, the ShutdownOk reply, and the accept-loop
+            // poke from being reordered against each other.
             shutdown.store(true, SeqCst);
             Response::ShutdownOk
         }
@@ -455,6 +458,10 @@ impl TcpFrontend {
             let threads = Arc::clone(&threads);
             std::thread::Builder::new().name("bsl-serve-accept".into()).spawn(move || {
                 for stream in listener.incoming() {
+                    // ORDERING: SeqCst — shutdown-latch read; `stop`'s
+                    // store is totally ordered before the poke connection
+                    // that unblocks this accept, so the flag is visible
+                    // here by then.
                     if shutdown.load(SeqCst) {
                         break;
                     }
@@ -483,6 +490,7 @@ impl TcpFrontend {
     /// Whether a shutdown (local or via a `shutdown` frame) has been
     /// requested.
     pub fn shutdown_requested(&self) -> bool {
+        // ORDERING: SeqCst — shutdown-latch read (see `stop`).
         self.shutdown.load(SeqCst)
     }
 
@@ -497,6 +505,10 @@ impl TcpFrontend {
     /// (idempotent; also runs on drop). In-flight requests are answered
     /// before their connections close.
     pub fn stop(&mut self) {
+        // ORDERING: SeqCst — set-once shutdown latch: every reader
+        // (accept loop, connection loops, shutdown_requested) observes it
+        // in the single total order, so none can run past a completed
+        // stop(). Uncontended after startup, so the strength is free.
         self.shutdown.store(true, SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -536,6 +548,7 @@ fn connection_loop(mut stream: TcpStream, engine: &ServeEngine, shutdown: &Atomi
         if write_frame(&mut stream, &encode_response(&resp)).is_err() {
             return;
         }
+        // ORDERING: SeqCst — shutdown-latch read (see `stop`).
         if was_shutdown || shutdown.load(SeqCst) {
             // Poke the accept loop so it observes the flag and exits.
             return;

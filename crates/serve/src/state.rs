@@ -437,6 +437,10 @@ impl ServeState {
         out: &mut Vec<Vec<Rec>>,
     ) {
         out.truncate(reqs.len());
+        // Vec::new below is the empty-vec constructor (capacity 0, no heap
+        // touch); steady-state callers pass warm out vecs whose spare
+        // capacity truncate + resize_with preserve.
+        // bsl-audit: allow(hot-path-alloc) -- empty-vec ctor, no allocation
         out.resize_with(reqs.len(), Vec::new);
 
         // Split the batch: exact-path requests over an f32 table take the

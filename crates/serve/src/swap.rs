@@ -25,6 +25,74 @@ use std::sync::Arc;
 
 use crate::state::ServeState;
 
+/// Schedule-perturbation points for the interleaving stress harness
+/// (`crates/serve/tests/interleave.rs`).
+///
+/// Compiled only under `RUSTFLAGS="--cfg audit_stress"` (see
+/// `scripts/audit.sh`); in normal builds [`pause`](stress::pause) is an
+/// empty inline fn the optimizer erases, so the hooks cost nothing.
+mod stress {
+    /// The windows of the swap protocol worth widening: each sits between
+    /// two atomic accesses whose relative order the SAFETY argument
+    /// depends on.
+    #[derive(Clone, Copy)]
+    pub enum Site {
+        /// Reader announced (`readers += 1`) but has not loaded the
+        /// pointer yet.
+        LoadAnnounced,
+        /// Reader loaded the pointer but has not bumped the refcount yet
+        /// — the window the writer's drain wait exists for.
+        LoadPtrLoaded,
+        /// Writer exchanged the pointer but has not checked the drain
+        /// counter yet.
+        SwapExchanged,
+    }
+
+    #[cfg(not(audit_stress))]
+    #[inline(always)]
+    pub fn pause(_site: Site) {}
+
+    /// Seeded pseudo-random delay: per thread, derived from
+    /// `BSL_STRESS_SEED` so a failing schedule can be replayed.
+    #[cfg(audit_stress)]
+    pub fn pause(site: Site) {
+        use std::cell::Cell;
+        use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+        // ORDERING: Relaxed — the counter only hands each thread a
+        // distinct salt; nothing is published through it.
+        static THREAD_SALT: AtomicU64 = AtomicU64::new(0);
+        fn seed() -> u64 {
+            let base: u64 = std::env::var("BSL_STRESS_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x9E37_79B9_7F4A_7C15);
+            // ORDERING: Relaxed — distinct-salt counter only (see above).
+            let salt = THREAD_SALT.fetch_add(1, Relaxed) + 1;
+            base ^ salt.wrapping_mul(0xD134_2543_DE82_EF95)
+        }
+        thread_local! {
+            static RNG: Cell<u64> = Cell::new(seed());
+        }
+        RNG.with(|r| {
+            let mut x = r.get();
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            r.set(x);
+            match (x ^ site as u64) % 4 {
+                0 => {}
+                1 => std::hint::spin_loop(),
+                2 => {
+                    for _ in 0..(x % 64) {
+                        std::hint::spin_loop();
+                    }
+                }
+                _ => std::thread::yield_now(),
+            }
+        });
+    }
+}
+
 /// An atomically swappable `Arc<T>` cell with an epoch counter.
 ///
 /// The slot always holds exactly one strong reference to the current
@@ -51,6 +119,9 @@ impl<T> SwapSlot<T> {
 
     /// The number of completed [`swap`](Self::swap)s.
     pub fn epoch(&self) -> u64 {
+        // ORDERING: a monotone counter read — Relaxed would do, but every
+        // access on this slot stays SeqCst so the whole protocol reasons
+        // in one total order.
         self.epoch.load(SeqCst)
     }
 
@@ -59,8 +130,20 @@ impl<T> SwapSlot<T> {
     /// holds it; concurrent swaps never invalidate it.
     #[allow(unsafe_code)] // raw-pointer Arc round trip; see SAFETY
     pub fn load(&self) -> Arc<T> {
+        // ORDERING: SeqCst, and deliberately not Acquire/Release. The
+        // proof needs *our announce store* ordered before *our pointer
+        // load* in an order the writer shares — a StoreLoad edge, the one
+        // edge acquire/release fencing cannot give. With anything weaker,
+        // announce could pass the pointer load; the writer could then
+        // exchange + observe `readers == 0` between them and free the
+        // value we are about to read. SeqCst on all four accesses (this
+        // pair, plus the writer's exchange and drain check) puts them in
+        // one total order where that interleaving is impossible.
         self.readers.fetch_add(1, SeqCst);
+        stress::pause(stress::Site::LoadAnnounced);
+        // ORDERING: SeqCst — the load half of the StoreLoad edge above.
         let p = self.ptr.load(SeqCst);
+        stress::pause(stress::Site::LoadPtrLoaded);
         // SAFETY: `p` came from `Arc::into_raw`, and the strong reference
         // it carries is still held by the slot: a writer only releases it
         // after (a) unpublishing `p` and (b) observing `readers == 0`.
@@ -75,6 +158,10 @@ impl<T> SwapSlot<T> {
             Arc::increment_strong_count(p);
             Arc::from_raw(p)
         };
+        // ORDERING: SeqCst exit — the refcount bump above must be ordered
+        // before the count the writer's drain check reads, so a writer
+        // that sees `readers == 0` knows our strong count is already in
+        // place.
         self.readers.fetch_sub(1, SeqCst);
         arc
     }
@@ -85,13 +172,25 @@ impl<T> SwapSlot<T> {
     /// owners, so it drops when the last of them does.
     #[allow(unsafe_code)] // raw-pointer Arc round trip; see SAFETY
     pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        // ORDERING: SeqCst exchange — the store half of the writer's
+        // StoreLoad edge: the unpublish must be ordered before the drain
+        // check below in the total order shared with readers (see the
+        // derivation in `load`).
         let old = self.ptr.swap(Arc::into_raw(new).cast_mut(), SeqCst);
+        stress::pause(stress::Site::SwapExchanged);
+        // ORDERING: SeqCst so the epoch tick is ordered after the
+        // exchange: an observer that sees epoch == n also sees the n-th
+        // pointer (or a later one).
         self.epoch.fetch_add(1, SeqCst);
         // Grace period: readers that announced themselves before the
         // exchange above may still be between their pointer load and
         // their refcount bump. Wait them out — the window is a handful of
         // instructions, so this spin is nanoseconds, not request-time.
         let mut spins = 0u32;
+        // ORDERING: SeqCst drain check — the load half of the writer's
+        // StoreLoad edge: only readers that announced *before* our
+        // exchange matter, and the total order guarantees we either see
+        // their announce here or they saw our new pointer.
         while self.readers.load(SeqCst) != 0 {
             spins += 1;
             if spins < 64 {
@@ -113,6 +212,8 @@ impl<T> Drop for SwapSlot<T> {
     fn drop(&mut self) {
         // SAFETY: `&mut self` means no concurrent load/swap; the slot
         // still owns the strong count carried by the published pointer.
+        // ORDERING: exclusive access — any ordering is correct; SeqCst
+        // keeps the slot's accesses uniform.
         unsafe { drop(Arc::from_raw(self.ptr.load(SeqCst))) }
     }
 }
@@ -148,6 +249,9 @@ impl ArtifactSlot {
     /// requests finish on the generation they loaded; the old state drops
     /// when its last holder does.
     pub fn swap(&self, state: ServeState) -> (u64, Arc<ServeState>) {
+        // ORDERING: SeqCst so version stamps are allocated in the same
+        // total order as the slot swaps they are baked into — versions
+        // observed through `load` can then never regress.
         let version = self.versions.fetch_add(1, SeqCst) + 1;
         let old = self.slot.swap(Arc::new(state.with_version(version)));
         (version, old)

@@ -1,0 +1,92 @@
+//! Interleaving stress harness for the hot-swap reclamation protocol.
+//!
+//! Hammers [`SwapSlot`] with concurrent readers and a swapper across many
+//! seeds. In a normal build this is a plain concurrency smoke test; under
+//! `RUSTFLAGS="--cfg audit_stress"` (see `scripts/audit.sh`) the slot's
+//! internal `stress::pause` hooks inject seeded pseudo-random delays into
+//! the three windows the SAFETY argument depends on (announce→ptr-load,
+//! ptr-load→refcount-bump, exchange→drain-check), so rare schedules —
+//! including the ones a wrong memory ordering would corrupt — are hit
+//! deterministically per `BSL_STRESS_SEED`. Run it under TSan/ASan for
+//! the strongest signal (CI's `sanitizers` job does).
+//!
+//! What each round asserts:
+//! * **content consistency** — every loaded value is internally uniform
+//!   (`vec![gen; N]` all-equal); a use-after-free or torn publication
+//!   shows up as mixed elements or a sanitizer report.
+//! * **monotonicity** — generations observed by a reader never regress,
+//!   and the swapper always gets back an older generation.
+//! * **reclamation** — after the round, every swapped-out generation has
+//!   actually dropped (Weak probes), and the final value is alive.
+
+use bsl_serve::SwapSlot;
+use std::sync::{Arc, Weak};
+
+const READERS: usize = 3;
+const LOADS_PER_READER: usize = 400;
+const SWAPS: u64 = 150;
+const PAYLOAD: usize = 32;
+
+/// One seeded round of readers-vs-swapper.
+fn stress_round(seed: u64) {
+    // The slot's pause hooks (compiled under `audit_stress`) derive their
+    // per-thread RNG from this variable at thread start.
+    std::env::set_var("BSL_STRESS_SEED", seed.to_string());
+
+    let slot = Arc::new(SwapSlot::new(Arc::new(vec![0u64; PAYLOAD])));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                for i in 0..LOADS_PER_READER {
+                    let v = slot.load();
+                    assert_eq!(v.len(), PAYLOAD, "seed {seed}: payload length changed");
+                    let gen = v[0];
+                    assert!(
+                        v.iter().all(|&x| x == gen),
+                        "seed {seed}: torn value — mixed generations in one payload"
+                    );
+                    assert!(gen >= last, "seed {seed}: generation regressed ({gen} < {last})");
+                    last = gen;
+                    if i % 16 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut probes: Vec<(u64, Weak<Vec<u64>>)> = Vec::with_capacity(SWAPS as usize);
+    for gen in 1..=SWAPS {
+        let old = slot.swap(Arc::new(vec![gen; PAYLOAD]));
+        assert!(old[0] < gen, "seed {seed}: swap returned a non-older generation");
+        probes.push((old[0], Arc::downgrade(&old)));
+    }
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+
+    // Reclamation: with readers joined and the swapper's handles dropped,
+    // only the currently published generation may still be alive.
+    assert_eq!(slot.epoch(), SWAPS, "seed {seed}: epoch mismatch");
+    assert_eq!(slot.load()[0], SWAPS, "seed {seed}: final generation wrong");
+    for (gen, probe) in &probes {
+        assert!(probe.upgrade().is_none(), "seed {seed}: swapped-out generation {gen} leaked");
+    }
+    let current = Arc::downgrade(&slot.load());
+    drop(slot);
+    assert!(
+        current.upgrade().is_none(),
+        "seed {seed}: dropping the slot leaked the current generation"
+    );
+}
+
+#[test]
+fn swap_slot_survives_many_seeded_interleavings() {
+    let base: u64 =
+        std::env::var("BSL_STRESS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5EED);
+    for round in 0..24 {
+        stress_round(base.wrapping_add(round * 0x9E37_79B9));
+    }
+}

@@ -6,6 +6,9 @@
 //! provides the [`Csr`] storage, the [`adjacency::NormAdj`] propagation
 //! operator, and edge dropout for the self-supervised augmented views.
 
+// Enforced by bsl-audit (audit/policy.toml): this crate is not on the
+// unsafe allowlist.
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod adjacency;
